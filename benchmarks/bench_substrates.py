@@ -1,0 +1,45 @@
+"""Micro-benchmarks of the heavy substrates (partitioner, teleportation model).
+
+Not a figure of the paper — these time the two computational hot spots of the
+reproduction so regressions in the substrates are visible in CI.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks import build_benchmark, qft_circuit
+from repro.noise.teleportation import teleported_cnot_average_fidelity
+from repro.partitioning import InteractionGraph, multilevel_bisection
+from repro.runtime import execute_design
+from repro.hardware import two_node_architecture
+from repro.partitioning import distribute_circuit
+
+
+def test_partitioner_speed_qft32(benchmark):
+    """Multilevel bisection of the densest benchmark graph (QFT-32)."""
+    graph = InteractionGraph.from_circuit(qft_circuit(32))
+    partition = benchmark(lambda: multilevel_bisection(graph, seed=0))
+    assert partition.num_blocks == 2
+
+
+def test_teleportation_fidelity_speed(benchmark):
+    """Density-matrix evaluation of the teleported CNOT (cache-miss path)."""
+    counter = {"calls": 0}
+
+    def evaluate():
+        counter["calls"] += 1
+        # Vary the fidelity slightly so the lru_cache does not short-circuit.
+        return teleported_cnot_average_fidelity(0.95 + 1e-6 * (counter["calls"] % 50))
+
+    value = benchmark(evaluate)
+    assert 0.9 < value < 1.0
+
+
+def test_single_run_speed_qaoa_r8_32(benchmark):
+    """One full async_buf execution of QAOA-r8-32 (dominant cost of Fig. 5/6)."""
+    architecture = two_node_architecture()
+    program = distribute_circuit(build_benchmark("QAOA-r8-32"), num_nodes=2, seed=0)
+    result = benchmark.pedantic(
+        lambda: execute_design(program, architecture, "async_buf", seed=1),
+        rounds=3, iterations=1,
+    )
+    assert result.depth > 0

@@ -1,0 +1,38 @@
+"""Table II — quantum operation properties used by the simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.analysis import table2_report
+from repro.hardware import GateFidelities, GateTimes, HeraldedLinkModel, PhysicalConstants
+
+
+def test_table2_report(benchmark):
+    """Print Table II and check the configuration constants."""
+    text = benchmark.pedantic(table2_report, rounds=1, iterations=1)
+    emit("Table II — quantum operation properties", text)
+
+    times = GateTimes()
+    fidelities = GateFidelities()
+    assert times.single_qubit == 0.1 and fidelities.single_qubit == 0.9999
+    assert times.local_cnot == 1.0 and fidelities.local_cnot == 0.999
+    assert times.measurement == 5.0 and fidelities.measurement == 0.998
+    assert times.epr_generation_cycle == 10.0 and fidelities.epr_pair == 0.99
+    assert PhysicalConstants().decoherence_rate_per_unit == pytest.approx(0.002)
+
+
+def test_heralded_link_model_consistency(benchmark):
+    """The physical link model reproduces T_EG ~ 10 local CNOTs and psucc <= 1/2."""
+    model = benchmark.pedantic(HeraldedLinkModel, rounds=1, iterations=1)
+    constants = PhysicalConstants()
+    emit(
+        "Heralded entanglement generation (Sec. III-A physical model)",
+        f"success probability per attempt : {model.success_probability:.3f}\n"
+        f"cycle time                      : {model.cycle_time_ns:.0f} ns "
+        f"({model.cycle_time_units(constants):.1f} local CNOTs)\n"
+        f"fibre transmission efficiency   : {model.transmission_efficiency:.4f}",
+    )
+    assert model.success_probability <= 0.5
+    assert 8.0 <= model.cycle_time_units(constants) <= 12.0

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+corresponding rows/series.  The number of stochastic repetitions per cell is
+controlled by the ``REPRO_RUNS`` environment variable (default 3 so the whole
+harness completes in a couple of minutes; the paper uses 50).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def repetitions(default: int = 3) -> int:
+    """Number of stochastic repetitions per (benchmark, design) cell."""
+    return int(os.environ.get("REPRO_RUNS", default))
+
+
+@pytest.fixture(scope="session")
+def num_runs() -> int:
+    """Session-wide repetition count."""
+    return repetitions()
+
+
+def emit(title: str, body: str) -> None:
+    """Print one labelled report block."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(body)

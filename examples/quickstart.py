@@ -1,0 +1,48 @@
+"""Quickstart: simulate one benchmark under every DQC design.
+
+Builds the paper's 2-node, 32-data-qubit system (10 communication and 10
+buffer qubits per node, psucc = 0.4), partitions the QAOA-r4-32 benchmark
+over the two nodes with the METIS-substitute multilevel partitioner, and
+simulates its execution under all six designs of the evaluation, printing
+depth and fidelity for each.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DQCSimulator, list_designs
+from repro.analysis import format_table
+
+
+def main() -> None:
+    simulator = DQCSimulator()          # the paper's 32-qubit system
+    benchmark = "QAOA-r4-32"
+
+    program = simulator.prepare(benchmark)
+    print(f"Benchmark {benchmark}: {program.num_qubits} qubits, "
+          f"{program.local_two_qubit_count()} local 2Q gates, "
+          f"{program.remote_gate_count()} remote 2Q gates\n")
+
+    rows = []
+    ideal = simulator.simulate(benchmark, design="ideal", seed=1)
+    for design in list_designs():
+        result = simulator.simulate(benchmark, design=design, seed=1)
+        rows.append([
+            design,
+            f"{result.depth:.1f}",
+            f"{result.depth / ideal.depth:.2f}x",
+            f"{result.fidelity:.3f}",
+            f"{result.mean_remote_wait():.2f}",
+        ])
+    print(format_table(
+        ["design", "depth", "depth / ideal", "fidelity", "mean EPR wait"], rows
+    ))
+    print("\nKey takeaway: buffering EPR pairs (sync_buf and beyond) removes most "
+          "of the entanglement-waiting latency of the original design, and the "
+          "asynchronous + adaptive + pre-initialised variants close the gap to "
+          "the ideal monolithic execution.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` also works in
+offline environments where PEP 517 build isolation cannot download build
+requirements.
+"""
+
+from setuptools import setup
+
+setup()

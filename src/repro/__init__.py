@@ -1,0 +1,60 @@
+"""repro — reproduction of "Hardware-Software Co-design for Distributed Quantum Computing" (DAC 2025).
+
+The package implements the paper's full pipeline from scratch:
+
+* a gate-level quantum-circuit IR with commutation-aware rewrites,
+* the Table I benchmark generators (TLIM, QAOA-MaxCut, QFT),
+* a METIS-style multilevel graph partitioner used as the distribution baseline,
+* a DQC hardware model with data / communication / buffer qubits,
+* a stochastic heralded-entanglement-generation simulator with synchronous or
+  asynchronous attempts, buffering, and cutoff policies,
+* a density-matrix based gate-teleportation fidelity model, and
+* a discrete-event executor comparing the six designs of the evaluation
+  (``original``, ``sync_buf``, ``async_buf``, ``adapt_buf``, ``init_buf``,
+  ``ideal``).
+
+Quickstart
+----------
+>>> from repro import DQCSimulator
+>>> simulator = DQCSimulator()
+>>> result = simulator.simulate("QAOA-r4-32", design="adapt_buf", seed=1)
+>>> round(result.depth, 1) > 0
+True
+"""
+
+from repro.benchmarks import build_benchmark, list_benchmarks
+from repro.circuits import QuantumCircuit
+from repro.core import (
+    DQCSimulator,
+    ExperimentConfig,
+    ExperimentRunner,
+    SystemConfig,
+    run_comm_qubit_sweep,
+    run_design_comparison,
+)
+from repro.hardware import DQCArchitecture, two_node_architecture
+from repro.partitioning import DistributedProgram, distribute_circuit
+from repro.runtime import DesignExecutor, ExecutionResult, execute_design, list_designs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuantumCircuit",
+    "build_benchmark",
+    "list_benchmarks",
+    "distribute_circuit",
+    "DistributedProgram",
+    "DQCArchitecture",
+    "two_node_architecture",
+    "DesignExecutor",
+    "execute_design",
+    "ExecutionResult",
+    "list_designs",
+    "DQCSimulator",
+    "SystemConfig",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "run_design_comparison",
+    "run_comm_qubit_sweep",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Statistics over repeated runs and text reports of the paper's tables."""
+
+from repro.analysis.report import (
+    comparison_report,
+    format_table,
+    relative_depth_report,
+    table1_report,
+    table2_report,
+)
+from repro.analysis.statistics import SampleStatistics, relative_change, summarize
+
+__all__ = [
+    "SampleStatistics",
+    "summarize",
+    "relative_change",
+    "format_table",
+    "table1_report",
+    "table2_report",
+    "comparison_report",
+    "relative_depth_report",
+]

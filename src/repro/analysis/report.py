@@ -1,0 +1,118 @@
+"""Text reports reproducing the paper's tables and figures.
+
+The benchmark harness prints the same rows and series the paper reports:
+Table I (benchmark properties), Table II (operation properties), and the
+depth / fidelity bars of Figs. 5-8.  Everything is plain text so the output
+can be diffed and archived alongside EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.hardware.parameters import OPERATION_TABLE
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from repro.core.results import BenchmarkComparison
+
+__all__ = [
+    "format_table",
+    "table1_report",
+    "table2_report",
+    "comparison_report",
+    "relative_depth_report",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    columns = len(headers)
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(str(headers[i]))
+        for i in range(columns)
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    output = [line([str(h) for h in headers])]
+    output.append(line(["-" * width for width in widths]))
+    output.extend(line(row) for row in str_rows)
+    return "\n".join(output)
+
+
+def table1_report(properties: Mapping[str, Mapping[str, object]],
+                  paper_values: Optional[Mapping[str, Mapping[str, object]]] = None
+                  ) -> str:
+    """Table I: benchmark properties (ours vs the paper's, when provided)."""
+    headers = ["Name", "#qubits", "#local 2Q", "#remote 2Q", "#1Q", "depth"]
+    rows = []
+    for name, props in properties.items():
+        rows.append([
+            name, props["qubits"], props["local_2q"], props["remote_2q"],
+            props["single_q"], props["depth"],
+        ])
+        if paper_values and name in paper_values:
+            paper = paper_values[name]
+            rows.append([
+                f"  (paper)", "", paper.get("local_2q", "-"),
+                paper.get("remote_2q", "-"), paper.get("single_q", "-"),
+                paper.get("depth", "-"),
+            ])
+    return format_table(headers, rows)
+
+
+def table2_report() -> str:
+    """Table II: quantum operation properties used by the simulator."""
+    headers = ["Name", "Latency", "Fidelity"]
+    label = {
+        "single_qubit": "1Q gates",
+        "local_cnot": "Local CNOT gates",
+        "measurement": "Measurement",
+        "epr_preparation": "EPR pair preparation",
+    }
+    rows = [
+        [label[key], properties.latency, f"{properties.fidelity * 100:.2f}%"]
+        for key, properties in OPERATION_TABLE.items()
+    ]
+    return format_table(headers, rows)
+
+
+def comparison_report(comparison: "BenchmarkComparison",
+                      metric: str = "depth") -> str:
+    """One panel of Fig. 5 (depth) or Fig. 6 (fidelity) as a text table."""
+    headers = ["Design", "Mean", "Std", "Relative to ideal"]
+    ideal_depth = comparison.ideal_depth()
+    ideal_fidelity = comparison.ideal_fidelity()
+    rows = []
+    for name, summary in comparison.summaries.items():
+        if metric == "depth":
+            stats = summary.depth
+            relative = (stats.mean / ideal_depth) if ideal_depth else float("nan")
+        elif metric == "fidelity":
+            stats = summary.fidelity
+            relative = (stats.mean / ideal_fidelity) if ideal_fidelity else float("nan")
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+        rows.append([name, f"{stats.mean:.2f}" if metric == "depth" else f"{stats.mean:.4f}",
+                     f"{stats.std:.2f}" if metric == "depth" else f"{stats.std:.4f}",
+                     f"{relative:.3f}"])
+    title = f"{comparison.benchmark} — {metric}"
+    return title + "\n" + format_table(headers, rows)
+
+
+def relative_depth_report(comparisons: Iterable["BenchmarkComparison"]) -> str:
+    """Fig. 5 style summary: relative depth of every design per benchmark."""
+    comparisons = list(comparisons)
+    if not comparisons:
+        return "(no results)"
+    designs = comparisons[0].designs
+    headers = ["Benchmark"] + designs
+    rows = []
+    for comparison in comparisons:
+        relative = comparison.relative_depth_table()
+        rows.append([comparison.benchmark] + [
+            f"{relative.get(design, float('nan')):.2f}" for design in designs
+        ])
+    return format_table(headers, rows)

@@ -1,0 +1,43 @@
+"""Benchmark circuit generators (Table I workloads)."""
+
+from repro.benchmarks.graphs import (
+    complete_graph_edges,
+    edge_count_for_regular,
+    is_regular,
+    random_regular_graph,
+    ring_graph,
+)
+from repro.benchmarks.qaoa import QAOAParameters, maxcut_value, qaoa_maxcut_circuit, qaoa_regular_circuit
+from repro.benchmarks.qft import qft_circuit, qft_expected_counts
+from repro.benchmarks.registry import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_properties,
+    build_benchmark,
+    get_benchmark,
+    list_benchmarks,
+)
+from repro.benchmarks.tlim import TLIMParameters, tlim_circuit, tlim_expected_counts
+
+__all__ = [
+    "random_regular_graph",
+    "ring_graph",
+    "complete_graph_edges",
+    "is_regular",
+    "edge_count_for_regular",
+    "QAOAParameters",
+    "qaoa_maxcut_circuit",
+    "qaoa_regular_circuit",
+    "maxcut_value",
+    "qft_circuit",
+    "qft_expected_counts",
+    "TLIMParameters",
+    "tlim_circuit",
+    "tlim_expected_counts",
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "get_benchmark",
+    "build_benchmark",
+    "list_benchmarks",
+    "benchmark_properties",
+]

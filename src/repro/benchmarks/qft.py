@@ -1,0 +1,66 @@
+"""Quantum Fourier Transform benchmark circuits.
+
+The QFT benchmark exhibits all-to-all connectivity: qubit ``i`` interacts
+with every qubit ``j > i`` through a controlled-phase gate of angle
+``pi / 2^(j-i)``.  On a bisected 32-qubit register this yields 256 remote
+and 240 local two-qubit gates (Table I), the highest remote-gate fraction of
+the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import BenchmarkError
+
+__all__ = ["qft_circuit", "qft_expected_counts"]
+
+
+def qft_circuit(
+    num_qubits: int,
+    include_swaps: bool = False,
+    name: Optional[str] = None,
+) -> QuantumCircuit:
+    """Build the textbook QFT circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register size.
+    include_swaps:
+        If ``True``, append the final bit-reversal SWAP network.  The paper's
+        Table I counts correspond to the swap-free variant (the reversal is
+        absorbed into classical post-processing), so the default is ``False``.
+    name:
+        Optional circuit name; defaults to ``QFT-<n>``.
+    """
+    if num_qubits < 1:
+        raise BenchmarkError("QFT needs at least 1 qubit")
+    circuit = QuantumCircuit(num_qubits, name=name or f"QFT-{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for offset, control in enumerate(range(target + 1, num_qubits), start=1):
+            angle = math.pi / (2 ** offset)
+            circuit.cp(angle, control, target)
+    if include_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    return circuit
+
+
+def qft_expected_counts(num_qubits: int, include_swaps: bool = False) -> dict:
+    """Expected gate counts of :func:`qft_circuit` (tests and Table I).
+
+    Returns a dict with keys ``single_qubit``, ``two_qubit``, ``depth``.
+    ``depth`` is the unit dependency depth ``2n - 1`` of the swap-free QFT.
+    """
+    two_qubit = num_qubits * (num_qubits - 1) // 2
+    if include_swaps:
+        two_qubit += num_qubits // 2
+    return {
+        "single_qubit": num_qubits,
+        "two_qubit": two_qubit,
+        "depth": 2 * num_qubits - 1 if num_qubits > 1 else 1,
+    }

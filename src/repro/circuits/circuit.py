@@ -1,0 +1,350 @@
+"""Quantum circuit container.
+
+:class:`QuantumCircuit` is a thin, ordered list of :class:`~repro.circuits.gate.Gate`
+objects over an integer-indexed qubit register.  It deliberately mirrors the
+small subset of Qiskit's / pytket's circuit API that the paper's pipeline
+needs:
+
+* builder methods for the gates used by the benchmarks (``h``, ``rx``, ``rz``,
+  ``cx``, ``cz``, ``rzz``, ``cp``, ``swap``, ``measure``),
+* structural queries (gate counts, two-qubit gate list, depth),
+* composition, slicing, and qubit remapping used by the partitioner and the
+  segment-variant compiler.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.circuits.gate import Gate, gate_spec
+from repro.exceptions import CircuitError
+
+__all__ = ["QuantumCircuit"]
+
+
+class QuantumCircuit:
+    """An ordered sequence of gates acting on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Size of the qubit register.  Qubit indices are ``0 .. num_qubits-1``.
+    name:
+        Optional human-readable circuit name (used by the benchmark registry).
+
+    Examples
+    --------
+    >>> circuit = QuantumCircuit(2, name="bell")
+    >>> circuit.h(0)
+    >>> circuit.cx(0, 1)
+    >>> circuit.num_gates
+    2
+    >>> circuit.depth()
+    2
+    """
+
+    def __init__(self, num_qubits: int, name: Optional[str] = None) -> None:
+        if num_qubits < 1:
+            raise CircuitError("a circuit needs at least one qubit")
+        self._num_qubits = int(num_qubits)
+        self.name = name or "circuit"
+        self._gates: List[Gate] = []
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits in the register."""
+        return self._num_qubits
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """The gates of the circuit in program order (immutable view)."""
+        return tuple(self._gates)
+
+    @property
+    def num_gates(self) -> int:
+        """Total number of gates including directives."""
+        return len(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            sub = QuantumCircuit(self._num_qubits, name=f"{self.name}[{index}]")
+            sub._gates = list(self._gates[index])
+            return sub
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return (
+            self._num_qubits == other._num_qubits and self._gates == other._gates
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantumCircuit(name={self.name!r}, num_qubits={self._num_qubits}, "
+            f"num_gates={self.num_gates})"
+        )
+
+    # ------------------------------------------------------------------
+    # gate application
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> Gate:
+        """Append a pre-built :class:`Gate`, validating qubit bounds."""
+        if any(q >= self._num_qubits for q in gate.qubits):
+            raise CircuitError(
+                f"gate {gate.name!r} on {gate.qubits} exceeds register size "
+                f"{self._num_qubits}"
+            )
+        self._gates.append(gate)
+        return gate
+
+    def extend(self, gates: Iterable[Gate]) -> None:
+        """Append several gates in order."""
+        for gate in gates:
+            self.append(gate)
+
+    def add_gate(
+        self,
+        name: str,
+        qubits: Sequence[int],
+        params: Sequence[float] = (),
+        label: Optional[str] = None,
+    ) -> Gate:
+        """Build a gate from its name and append it."""
+        return self.append(Gate(name, tuple(qubits), tuple(params), label))
+
+    # --- single-qubit builders -----------------------------------------
+    def h(self, qubit: int) -> Gate:
+        """Apply a Hadamard gate."""
+        return self.add_gate("h", (qubit,))
+
+    def x(self, qubit: int) -> Gate:
+        """Apply a Pauli-X gate."""
+        return self.add_gate("x", (qubit,))
+
+    def y(self, qubit: int) -> Gate:
+        """Apply a Pauli-Y gate."""
+        return self.add_gate("y", (qubit,))
+
+    def z(self, qubit: int) -> Gate:
+        """Apply a Pauli-Z gate."""
+        return self.add_gate("z", (qubit,))
+
+    def s(self, qubit: int) -> Gate:
+        """Apply an S (phase) gate."""
+        return self.add_gate("s", (qubit,))
+
+    def t(self, qubit: int) -> Gate:
+        """Apply a T gate."""
+        return self.add_gate("t", (qubit,))
+
+    def rx(self, theta: float, qubit: int) -> Gate:
+        """Apply an X-rotation by angle ``theta``."""
+        return self.add_gate("rx", (qubit,), (theta,))
+
+    def ry(self, theta: float, qubit: int) -> Gate:
+        """Apply a Y-rotation by angle ``theta``."""
+        return self.add_gate("ry", (qubit,), (theta,))
+
+    def rz(self, theta: float, qubit: int) -> Gate:
+        """Apply a Z-rotation by angle ``theta``."""
+        return self.add_gate("rz", (qubit,), (theta,))
+
+    def p(self, theta: float, qubit: int) -> Gate:
+        """Apply a phase gate with angle ``theta``."""
+        return self.add_gate("p", (qubit,), (theta,))
+
+    # --- two-qubit builders ---------------------------------------------
+    def cx(self, control: int, target: int) -> Gate:
+        """Apply a CNOT with the given control and target."""
+        return self.add_gate("cx", (control, target))
+
+    def cz(self, qubit_a: int, qubit_b: int) -> Gate:
+        """Apply a controlled-Z gate."""
+        return self.add_gate("cz", (qubit_a, qubit_b))
+
+    def cp(self, theta: float, qubit_a: int, qubit_b: int) -> Gate:
+        """Apply a controlled-phase gate with angle ``theta``."""
+        return self.add_gate("cp", (qubit_a, qubit_b), (theta,))
+
+    def rzz(self, theta: float, qubit_a: int, qubit_b: int) -> Gate:
+        """Apply an Ising ZZ interaction ``exp(-i theta/2 Z⊗Z)``."""
+        return self.add_gate("rzz", (qubit_a, qubit_b), (theta,))
+
+    def swap(self, qubit_a: int, qubit_b: int) -> Gate:
+        """Apply a SWAP gate."""
+        return self.add_gate("swap", (qubit_a, qubit_b))
+
+    # --- directives -------------------------------------------------------
+    def measure(self, qubit: int) -> Gate:
+        """Measure a qubit in the computational basis."""
+        return self.add_gate("measure", (qubit,))
+
+    def measure_all(self) -> None:
+        """Measure every qubit in the register."""
+        for qubit in range(self._num_qubits):
+            self.measure(qubit)
+
+    def barrier(self, qubit: int) -> Gate:
+        """Insert a scheduling barrier on a qubit."""
+        return self.add_gate("barrier", (qubit,))
+
+    # ------------------------------------------------------------------
+    # structural queries
+    # ------------------------------------------------------------------
+    def count_ops(self) -> Dict[str, int]:
+        """Return a histogram of gate names."""
+        return dict(Counter(gate.name for gate in self._gates))
+
+    def num_single_qubit_gates(self) -> int:
+        """Number of single-qubit unitary gates."""
+        return sum(1 for gate in self._gates if gate.is_single_qubit)
+
+    def num_two_qubit_gates(self) -> int:
+        """Number of two-qubit unitary gates."""
+        return sum(1 for gate in self._gates if gate.is_two_qubit)
+
+    def two_qubit_gates(self) -> List[Gate]:
+        """Return the two-qubit unitary gates in program order."""
+        return [gate for gate in self._gates if gate.is_two_qubit]
+
+    def num_measurements(self) -> int:
+        """Number of measurement directives."""
+        return sum(1 for gate in self._gates if gate.is_measurement)
+
+    def qubits_used(self) -> Tuple[int, ...]:
+        """Sorted tuple of qubit indices that appear in at least one gate."""
+        used = set()
+        for gate in self._gates:
+            used.update(gate.qubits)
+        return tuple(sorted(used))
+
+    def interactions(self) -> List[Tuple[int, int]]:
+        """Return the (unordered) qubit pairs of every two-qubit gate."""
+        pairs = []
+        for gate in self._gates:
+            if gate.is_two_qubit:
+                a, b = gate.qubits
+                pairs.append((min(a, b), max(a, b)))
+        return pairs
+
+    def depth(self, weights: Optional[Dict[str, float]] = None) -> float:
+        """Return the circuit depth.
+
+        Without ``weights``, each gate contributes 1 to the depth of every
+        qubit it acts on, and the depth is the maximum over qubits (the usual
+        unit-depth).  With ``weights`` (mapping gate name to a latency), the
+        depth is the critical-path latency, which is how the paper expresses
+        depth in units of a local CNOT.
+        """
+        finish: Dict[int, float] = {}
+        for gate in self._gates:
+            duration = 1.0 if weights is None else float(weights.get(gate.name, 1.0))
+            start = max((finish.get(q, 0.0) for q in gate.qubits), default=0.0)
+            for q in gate.qubits:
+                finish[q] = start + duration
+        return max(finish.values(), default=0.0)
+
+    # ------------------------------------------------------------------
+    # composition / transformation
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """Return a deep copy (gates are immutable so the list is copied)."""
+        new = QuantumCircuit(self._num_qubits, name=name or self.name)
+        new._gates = list(self._gates)
+        return new
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Return a new circuit that applies ``self`` then ``other``.
+
+        The register sizes must match.
+        """
+        if other.num_qubits != self._num_qubits:
+            raise CircuitError(
+                "cannot compose circuits with different register sizes "
+                f"({self._num_qubits} vs {other.num_qubits})"
+            )
+        combined = self.copy(name=f"{self.name}+{other.name}")
+        combined.extend(other.gates)
+        return combined
+
+    def remap_qubits(self, mapping: Dict[int, int],
+                     num_qubits: Optional[int] = None) -> "QuantumCircuit":
+        """Return a circuit with qubit indices remapped through ``mapping``."""
+        size = num_qubits if num_qubits is not None else self._num_qubits
+        new = QuantumCircuit(size, name=self.name)
+        for gate in self._gates:
+            new.append(gate.remap(mapping))
+        return new
+
+    def relabel_gates(self, labels: Dict[int, Optional[str]]) -> "QuantumCircuit":
+        """Return a copy where gate ``i`` gets label ``labels[i]`` if present."""
+        new = QuantumCircuit(self._num_qubits, name=self.name)
+        for index, gate in enumerate(self._gates):
+            if index in labels:
+                gate = gate.with_label(labels[index])
+            new.append(gate)
+        return new
+
+    def without_directives(self) -> "QuantumCircuit":
+        """Return a copy with measurements, resets, and barriers removed."""
+        new = QuantumCircuit(self._num_qubits, name=self.name)
+        new._gates = [g for g in self._gates if not g.is_directive]
+        return new
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the inverse circuit (reversed order, parameters negated).
+
+        Only unitary gates are supported; directives raise
+        :class:`CircuitError`.
+        """
+        new = QuantumCircuit(self._num_qubits, name=f"{self.name}_dg")
+        for gate in reversed(self._gates):
+            if gate.is_directive:
+                raise CircuitError("cannot invert a circuit with directives")
+            spec = gate.spec
+            if spec.num_params:
+                new.append(Gate(gate.name, gate.qubits,
+                                tuple(-p for p in gate.params), gate.label))
+            elif spec.self_inverse:
+                new.append(gate)
+            elif gate.name == "s":
+                new.add_gate("sdg", gate.qubits)
+            elif gate.name == "sdg":
+                new.add_gate("s", gate.qubits)
+            elif gate.name == "t":
+                new.add_gate("tdg", gate.qubits)
+            elif gate.name == "tdg":
+                new.add_gate("t", gate.qubits)
+            else:
+                raise CircuitError(f"cannot invert gate {gate.name!r}")
+        return new
+
+    def __deepcopy__(self, memo) -> "QuantumCircuit":
+        new = QuantumCircuit(self._num_qubits, name=self.name)
+        new._gates = _copy.deepcopy(self._gates, memo)
+        return new
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check internal consistency; raise :class:`CircuitError` if broken."""
+        for gate in self._gates:
+            gate_spec(gate.name)
+            if any(q >= self._num_qubits or q < 0 for q in gate.qubits):
+                raise CircuitError(
+                    f"gate {gate.name!r} on {gate.qubits} out of range for "
+                    f"{self._num_qubits} qubits"
+                )

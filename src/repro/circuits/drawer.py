@@ -1,0 +1,82 @@
+"""Plain-text circuit drawer.
+
+Produces a compact ASCII rendering of a :class:`QuantumCircuit`, one row per
+qubit and one column per dependency layer.  Used by the examples and handy
+when debugging scheduling transforms; it has no role in the simulation
+itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDAG
+
+__all__ = ["draw_circuit"]
+
+_MAX_LABEL = 7
+
+
+def _gate_symbol(name: str, params, remote: bool) -> str:
+    """Short printable symbol for one gate occurrence."""
+    base = name.upper()
+    if params:
+        base = f"{base}({params[0]:.2f})"
+    if remote:
+        base = f"*{base}"
+    if len(base) > _MAX_LABEL:
+        base = base[:_MAX_LABEL]
+    return base
+
+
+def draw_circuit(circuit: QuantumCircuit, max_layers: Optional[int] = None) -> str:
+    """Render the circuit as ASCII art.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to draw.
+    max_layers:
+        If given, only the first ``max_layers`` dependency layers are drawn
+        and an ellipsis column is appended.
+
+    Returns
+    -------
+    str
+        Multi-line string with one row per qubit.  Remote-labelled gates are
+        prefixed with ``*``; the second qubit of a two-qubit gate is shown as
+        ``o`` connected implicitly by sharing a column.
+    """
+    dag = CircuitDAG(circuit)
+    layers = dag.layers()
+    truncated = False
+    if max_layers is not None and len(layers) > max_layers:
+        layers = layers[:max_layers]
+        truncated = True
+
+    columns: List[Dict[int, str]] = []
+    for layer in layers:
+        column: Dict[int, str] = {}
+        for node_index in layer:
+            gate = dag.gate(node_index)
+            symbol = _gate_symbol(gate.name, gate.params, gate.is_remote)
+            primary = gate.qubits[0]
+            column[primary] = symbol
+            for other in gate.qubits[1:]:
+                column[other] = "o"
+        columns.append(column)
+
+    width_of = [max((len(v) for v in column.values()), default=1) for column in columns]
+    lines = []
+    for qubit in range(circuit.num_qubits):
+        cells = []
+        for column, width in zip(columns, width_of):
+            cell = column.get(qubit, "-" * width)
+            cells.append(cell.ljust(width, "-"))
+        row = f"q{qubit:>3}: " + "--".join(cells) if cells else f"q{qubit:>3}: "
+        if truncated:
+            row += "--..."
+        lines.append(row)
+    header = f"{circuit.name} ({circuit.num_qubits} qubits, {circuit.num_gates} gates)"
+    return header + "\n" + "\n".join(lines)

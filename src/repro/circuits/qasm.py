@@ -1,0 +1,103 @@
+"""Minimal OpenQASM 2.0 export / import.
+
+The reproduction does not depend on external toolchains, but an OpenQASM
+round trip makes it easy to inspect benchmark circuits with third-party
+viewers and to feed externally produced circuits into the co-design
+pipeline.  Only the gate set used by this package is supported.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+__all__ = ["to_qasm", "from_qasm"]
+
+_SUPPORTED_EXPORT = {
+    "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
+    "rx", "ry", "rz", "p", "u3", "cx", "cz", "cp", "rzz", "swap",
+    "measure", "reset", "barrier",
+}
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise a circuit to OpenQASM 2.0 text."""
+    lines: List[str] = [_HEADER.rstrip("\n")]
+    lines.append(f"qreg q[{circuit.num_qubits}];")
+    lines.append(f"creg c[{circuit.num_qubits}];")
+    for gate in circuit.gates:
+        if gate.name not in _SUPPORTED_EXPORT:
+            raise CircuitError(f"cannot export gate {gate.name!r} to QASM")
+        operands = ",".join(f"q[{q}]" for q in gate.qubits)
+        if gate.name == "measure":
+            qubit = gate.qubits[0]
+            lines.append(f"measure q[{qubit}] -> c[{qubit}];")
+        elif gate.name == "barrier":
+            lines.append(f"barrier {operands};")
+        elif gate.params:
+            params = ",".join(f"{p:.12g}" for p in gate.params)
+            lines.append(f"{gate.name}({params}) {operands};")
+        else:
+            lines.append(f"{gate.name} {operands};")
+    return "\n".join(lines) + "\n"
+
+
+_GATE_LINE = re.compile(
+    r"^(?P<name>[a-z_][a-z0-9_]*)\s*(\((?P<params>[^)]*)\))?\s+(?P<args>.+);$"
+)
+_MEASURE_LINE = re.compile(r"^measure\s+q\[(?P<q>\d+)\]\s*->\s*c\[\d+\];$")
+_QREG_LINE = re.compile(r"^qreg\s+q\[(?P<n>\d+)\];$")
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 text produced by :func:`to_qasm`.
+
+    The parser supports a single quantum register named ``q`` and the gate
+    set exported by this package.  Anything else raises
+    :class:`~repro.exceptions.CircuitError`.
+    """
+    circuit: QuantumCircuit | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("//", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("OPENQASM") or line.startswith("include"):
+            continue
+        if line.startswith("creg"):
+            continue
+        qreg_match = _QREG_LINE.match(line)
+        if qreg_match:
+            circuit = QuantumCircuit(int(qreg_match.group("n")), name="qasm")
+            continue
+        if circuit is None:
+            raise CircuitError("QASM gate encountered before qreg declaration")
+        measure_match = _MEASURE_LINE.match(line)
+        if measure_match:
+            circuit.measure(int(measure_match.group("q")))
+            continue
+        gate_match = _GATE_LINE.match(line)
+        if not gate_match:
+            raise CircuitError(f"cannot parse QASM line: {raw_line!r}")
+        name = gate_match.group("name")
+        params_text = gate_match.group("params")
+        params = tuple(
+            float(eval(p, {"__builtins__": {}}, {"pi": 3.141592653589793}))
+            for p in params_text.split(",")
+        ) if params_text else ()
+        qubits = tuple(
+            int(match.group(1))
+            for match in re.finditer(r"q\[(\d+)\]", gate_match.group("args"))
+        )
+        if name == "barrier":
+            for qubit in qubits:
+                circuit.barrier(qubit)
+            continue
+        circuit.add_gate(name, qubits, params)
+    if circuit is None:
+        raise CircuitError("QASM text contains no qreg declaration")
+    return circuit

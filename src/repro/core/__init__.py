@@ -1,0 +1,28 @@
+"""Public co-design API: simulator, configuration, experiments, results."""
+
+from repro.core.codesign import DQCSimulator
+from repro.core.config import (
+    PAPER_32Q_SYSTEM,
+    PAPER_64Q_SYSTEM,
+    ExperimentConfig,
+    SystemConfig,
+)
+from repro.core.experiment import (
+    ExperimentRunner,
+    run_comm_qubit_sweep,
+    run_design_comparison,
+)
+from repro.core.results import BenchmarkComparison, DesignSummary
+
+__all__ = [
+    "DQCSimulator",
+    "SystemConfig",
+    "ExperimentConfig",
+    "PAPER_32Q_SYSTEM",
+    "PAPER_64Q_SYSTEM",
+    "ExperimentRunner",
+    "run_design_comparison",
+    "run_comm_qubit_sweep",
+    "BenchmarkComparison",
+    "DesignSummary",
+]

@@ -1,0 +1,177 @@
+"""High-level co-design simulator API.
+
+:class:`DQCSimulator` is the one-stop entry point of the library: it takes a
+circuit (or a benchmark name), partitions it over the nodes of a
+:class:`~repro.core.config.SystemConfig`, and simulates its execution under
+any of the paper's designs, returning depth / fidelity metrics.
+
+Example
+-------
+>>> from repro import DQCSimulator
+>>> simulator = DQCSimulator()                      # paper's 32-qubit system
+>>> result = simulator.simulate("QAOA-r4-32", design="adapt_buf", seed=3)
+>>> result.depth > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.benchmarks.registry import build_benchmark
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.config import SystemConfig
+from repro.hardware.architecture import DQCArchitecture
+from repro.partitioning.assigner import DistributedProgram, distribute_circuit
+from repro.runtime.designs import get_design, list_designs
+from repro.runtime.executor import DesignExecutor
+from repro.runtime.metrics import ExecutionResult
+from repro.scheduling.policies import AdaptivePolicy
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DQCSimulator"]
+
+CircuitLike = Union[str, QuantumCircuit, DistributedProgram]
+
+
+class DQCSimulator:
+    """Partition + schedule + execute + estimate, behind one interface.
+
+    Parameters
+    ----------
+    system:
+        Hardware configuration; defaults to the paper's 2-node, 32-data-qubit
+        system with 10 communication and 10 buffer qubits per node.
+    partition_method:
+        Partitioning algorithm used to split circuits over nodes
+        (``"multilevel"`` is the METIS-baseline substitute).
+    partition_seed:
+        Seed of the partitioner (partitioning is deterministic per seed).
+    """
+
+    def __init__(self, system: Optional[SystemConfig] = None,
+                 partition_method: str = "multilevel",
+                 partition_seed: int = 0) -> None:
+        self.system = system or SystemConfig()
+        self.partition_method = partition_method
+        self.partition_seed = partition_seed
+        self._architecture: Optional[DQCArchitecture] = None
+        self._program_cache: Dict[str, DistributedProgram] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def architecture(self) -> DQCArchitecture:
+        """The materialised hardware architecture (built lazily)."""
+        if self._architecture is None:
+            self._architecture = self.system.build_architecture()
+        return self._architecture
+
+    # ------------------------------------------------------------------
+    def prepare(self, circuit: CircuitLike) -> DistributedProgram:
+        """Resolve a benchmark name / circuit into a distributed program.
+
+        Benchmark names are cached: the same partition is reused across
+        designs and repetitions, matching the paper's methodology where the
+        METIS partition is computed once per benchmark.
+        """
+        if isinstance(circuit, DistributedProgram):
+            return circuit
+        if isinstance(circuit, str):
+            key = circuit.lower()
+            if key not in self._program_cache:
+                built = build_benchmark(circuit)
+                self._program_cache[key] = self._distribute(built)
+            return self._program_cache[key]
+        if isinstance(circuit, QuantumCircuit):
+            return self._distribute(circuit)
+        raise ConfigurationError(
+            f"cannot interpret {type(circuit).__name__} as a circuit"
+        )
+
+    def _distribute(self, circuit: QuantumCircuit) -> DistributedProgram:
+        if circuit.num_qubits > self.system.total_data_qubits:
+            raise ConfigurationError(
+                f"circuit needs {circuit.num_qubits} data qubits but the system "
+                f"provides {self.system.total_data_qubits}"
+            )
+        return distribute_circuit(
+            circuit,
+            num_nodes=self.system.num_nodes,
+            method=self.partition_method,
+            seed=self.partition_seed,
+        )
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        circuit: CircuitLike,
+        design: str = "adapt_buf",
+        seed: int = 0,
+        segment_length: Optional[int] = None,
+        adaptive_policy: Optional[AdaptivePolicy] = None,
+        collect_trace: bool = False,
+    ) -> ExecutionResult:
+        """Simulate one execution of ``circuit`` under ``design``.
+
+        Parameters
+        ----------
+        circuit:
+            Benchmark name, circuit, or pre-partitioned program.
+        design:
+            One of ``original``, ``sync_buf``, ``async_buf``, ``adapt_buf``,
+            ``init_buf``, ``ideal``.
+        seed:
+            Seed of the stochastic entanglement generation.
+        segment_length:
+            Optional override of the adaptive segment length ``m``.
+        adaptive_policy:
+            Optional override of the adaptive thresholds.
+        collect_trace:
+            Record a per-gate execution trace (available on the executor).
+        """
+        program = self.prepare(circuit)
+        executor = DesignExecutor(
+            self.architecture,
+            get_design(design),
+            seed=seed,
+            segment_length=segment_length,
+            adaptive_policy=adaptive_policy,
+            collect_trace=collect_trace,
+        )
+        result = executor.run(program)
+        self.last_executor = executor
+        return result
+
+    def simulate_all_designs(
+        self,
+        circuit: CircuitLike,
+        designs: Optional[Sequence[str]] = None,
+        seed: int = 0,
+        **kwargs,
+    ) -> Dict[str, ExecutionResult]:
+        """Simulate one run of every design on the same circuit and seed."""
+        designs = list(designs) if designs is not None else list_designs()
+        return {
+            name: self.simulate(circuit, design=name, seed=seed, **kwargs)
+            for name in designs
+        }
+
+    # ------------------------------------------------------------------
+    def ideal_reference(self, circuit: CircuitLike) -> ExecutionResult:
+        """Depth / fidelity of the monolithic (ideal) execution."""
+        return self.simulate(circuit, design="ideal", seed=0)
+
+    def describe(self) -> Dict[str, object]:
+        """Configuration summary (used by reports and examples)."""
+        return {
+            "system": {
+                "nodes": self.system.num_nodes,
+                "data_per_node": self.system.data_qubits_per_node,
+                "comm_per_node": self.system.comm_qubits_per_node,
+                "buffer_per_node": self.system.buffer_qubits_per_node,
+                "psucc": self.system.epr_success_probability,
+            },
+            "partition_method": self.partition_method,
+            "designs": list_designs(),
+        }

@@ -1,0 +1,151 @@
+"""Experiment and system configuration objects.
+
+:class:`SystemConfig` captures one evaluated hardware configuration (number
+of nodes, data / communication / buffer qubits per node, Table II
+parameters) and :class:`ExperimentConfig` one full experiment (benchmarks ×
+designs × repetitions), mirroring Sec. IV-A and Sec. V of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hardware.architecture import DQCArchitecture, two_node_architecture
+from repro.hardware.parameters import GateFidelities, GateTimes, PhysicalConstants
+from repro.runtime.designs import list_designs
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SystemConfig", "ExperimentConfig", "PAPER_32Q_SYSTEM", "PAPER_64Q_SYSTEM"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One DQC hardware configuration of the evaluation.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of QPU nodes (2 in the paper's evaluation).
+    data_qubits_per_node:
+        Data-qubit capacity per node (16 for the 32-qubit experiments,
+        32 for the 64-qubit experiments).
+    comm_qubits_per_node / buffer_qubits_per_node:
+        Communication and buffer qubit counts per node.
+    epr_success_probability:
+        Per-attempt entanglement generation success probability ``psucc``.
+    decoherence_time_us / local_cnot_time_ns:
+        Physical constants defining the decoherence rate.
+    """
+
+    num_nodes: int = 2
+    data_qubits_per_node: int = 16
+    comm_qubits_per_node: int = 10
+    buffer_qubits_per_node: int = 10
+    epr_success_probability: float = 0.4
+    decoherence_time_us: float = 150.0
+    local_cnot_time_ns: float = 300.0
+    gate_times: GateTimes = field(default_factory=GateTimes)
+    fidelities: GateFidelities = field(default_factory=GateFidelities)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes != 2:
+            # The architecture model supports more nodes, but the reference
+            # experiments are all two-node; keep the constraint explicit so
+            # that mistakes surface early.  Callers can still build custom
+            # DQCArchitecture objects for multi-node studies.
+            if self.num_nodes < 2:
+                raise ConfigurationError("a DQC system needs at least 2 nodes")
+        if self.data_qubits_per_node < 1:
+            raise ConfigurationError("each node needs at least one data qubit")
+        if self.comm_qubits_per_node < 1:
+            raise ConfigurationError("each node needs at least one communication qubit")
+        if self.buffer_qubits_per_node < 0:
+            raise ConfigurationError("buffer qubit count must be non-negative")
+
+    @property
+    def total_data_qubits(self) -> int:
+        """Total data qubits across the system."""
+        return self.num_nodes * self.data_qubits_per_node
+
+    def build_architecture(self) -> DQCArchitecture:
+        """Materialise the :class:`DQCArchitecture` for this configuration."""
+        physics = PhysicalConstants(
+            local_cnot_time_ns=self.local_cnot_time_ns,
+            decoherence_time_us=self.decoherence_time_us,
+            epr_success_probability=self.epr_success_probability,
+        )
+        if self.num_nodes == 2:
+            return two_node_architecture(
+                data_qubits_per_node=self.data_qubits_per_node,
+                comm_qubits_per_node=self.comm_qubits_per_node,
+                buffer_qubits_per_node=self.buffer_qubits_per_node,
+                gate_times=self.gate_times,
+                fidelities=self.fidelities,
+                physics=physics,
+            )
+        from repro.hardware.node import QPUNode
+
+        nodes = [
+            QPUNode(i, self.data_qubits_per_node, self.comm_qubits_per_node,
+                    self.buffer_qubits_per_node)
+            for i in range(self.num_nodes)
+        ]
+        return DQCArchitecture(nodes=nodes, gate_times=self.gate_times,
+                               fidelities=self.fidelities, physics=physics)
+
+    def with_comm_and_buffer(self, comm: int, buffer: int) -> "SystemConfig":
+        """Copy with different communication / buffer qubit counts (Fig. 7)."""
+        return replace(self, comm_qubits_per_node=comm, buffer_qubits_per_node=buffer)
+
+
+#: The paper's 2-node, 32-data-qubit configuration (Sec. V-A).
+PAPER_32Q_SYSTEM = SystemConfig()
+
+#: The paper's 2-node, 64-data-qubit configuration (Sec. V-C).
+PAPER_64Q_SYSTEM = SystemConfig(
+    data_qubits_per_node=32,
+    comm_qubits_per_node=20,
+    buffer_qubits_per_node=20,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment: benchmarks × designs × repetitions on one system.
+
+    Attributes
+    ----------
+    benchmarks:
+        Benchmark names from the registry.
+    designs:
+        Design names (default: all six of the paper).
+    num_runs:
+        Number of stochastic repetitions per (benchmark, design) cell
+        (the paper averages 50 runs).
+    base_seed:
+        Seed of the first repetition; runs use ``base_seed + run_index``.
+    system:
+        Hardware configuration.
+    partition_seed:
+        Seed of the (deterministic) graph partitioner.
+    """
+
+    benchmarks: Tuple[str, ...]
+    designs: Tuple[str, ...] = tuple(list_designs())
+    num_runs: int = 50
+    base_seed: int = 1
+    system: SystemConfig = field(default_factory=SystemConfig)
+    partition_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            raise ConfigurationError("experiment needs at least one benchmark")
+        if not self.designs:
+            raise ConfigurationError("experiment needs at least one design")
+        if self.num_runs < 1:
+            raise ConfigurationError("experiment needs at least one run")
+
+    def seeds(self) -> List[int]:
+        """Seeds of the individual repetitions."""
+        return [self.base_seed + index for index in range(self.num_runs)]

@@ -1,0 +1,120 @@
+"""Experiment runner: designs × benchmarks × repetitions.
+
+:class:`ExperimentRunner` drives the full evaluation loops of the paper:
+Fig. 5 / 6 (all designs on the 32-qubit benchmarks), Fig. 7 (communication /
+buffer qubit sweep), and Fig. 8 (64-qubit benchmarks).  Results are averaged
+over repetitions and returned as :class:`~repro.core.results.BenchmarkComparison`
+objects that the report module renders as text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.codesign import DQCSimulator
+from repro.core.config import ExperimentConfig, SystemConfig
+from repro.core.results import BenchmarkComparison, DesignSummary
+from repro.runtime.metrics import ExecutionResult
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ExperimentRunner", "run_design_comparison", "run_comm_qubit_sweep"]
+
+
+class ExperimentRunner:
+    """Runs one :class:`ExperimentConfig` and aggregates the results."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self.simulator = DQCSimulator(
+            system=config.system, partition_seed=config.partition_seed
+        )
+
+    # ------------------------------------------------------------------
+    def run_cell(self, benchmark: str, design: str) -> List[ExecutionResult]:
+        """All repetitions of one (benchmark, design) cell."""
+        results = []
+        for seed in self.config.seeds():
+            results.append(
+                self.simulator.simulate(benchmark, design=design, seed=seed)
+            )
+        return results
+
+    def run_benchmark(self, benchmark: str) -> BenchmarkComparison:
+        """All designs on one benchmark."""
+        comparison = BenchmarkComparison(benchmark=benchmark)
+        for design in self.config.designs:
+            results = self.run_cell(benchmark, design)
+            comparison.add(DesignSummary.from_results(results))
+        return comparison
+
+    def run(self) -> Dict[str, BenchmarkComparison]:
+        """The full experiment, keyed by benchmark name."""
+        return {
+            benchmark: self.run_benchmark(benchmark)
+            for benchmark in self.config.benchmarks
+        }
+
+
+def run_design_comparison(
+    benchmarks: Sequence[str],
+    designs: Optional[Sequence[str]] = None,
+    num_runs: int = 5,
+    system: Optional[SystemConfig] = None,
+    base_seed: int = 1,
+) -> Dict[str, BenchmarkComparison]:
+    """Convenience wrapper reproducing one Fig. 5 / Fig. 6 / Fig. 8 sweep.
+
+    Parameters
+    ----------
+    benchmarks:
+        Benchmark names to evaluate.
+    designs:
+        Design names (defaults to all six).
+    num_runs:
+        Stochastic repetitions per cell (the paper uses 50; the benchmark
+        harness uses fewer by default to keep wall-clock time reasonable and
+        exposes the full count behind an option).
+    system:
+        Hardware configuration (defaults to the paper's 32-qubit system).
+    base_seed:
+        Seed of the first repetition.
+    """
+    from repro.runtime.designs import list_designs
+
+    config = ExperimentConfig(
+        benchmarks=tuple(benchmarks),
+        designs=tuple(designs) if designs is not None else tuple(list_designs()),
+        num_runs=num_runs,
+        base_seed=base_seed,
+        system=system or SystemConfig(),
+    )
+    return ExperimentRunner(config).run()
+
+
+def run_comm_qubit_sweep(
+    benchmark: str,
+    comm_buffer_counts: Sequence[int],
+    designs: Optional[Sequence[str]] = None,
+    num_runs: int = 5,
+    base_system: Optional[SystemConfig] = None,
+    base_seed: int = 1,
+) -> Dict[int, BenchmarkComparison]:
+    """Fig. 7 sweep: vary the number of communication / buffer qubits.
+
+    For every entry ``n`` of ``comm_buffer_counts`` the system is configured
+    with ``n`` communication and ``n`` buffer qubits per node and the chosen
+    designs are evaluated on ``benchmark``.
+    """
+    if not comm_buffer_counts:
+        raise ConfigurationError("sweep needs at least one qubit count")
+    base_system = base_system or SystemConfig()
+    sweep_results: Dict[int, BenchmarkComparison] = {}
+    for count in comm_buffer_counts:
+        system = base_system.with_comm_and_buffer(count, count)
+        comparisons = run_design_comparison(
+            [benchmark], designs=designs, num_runs=num_runs, system=system,
+            base_seed=base_seed,
+        )
+        sweep_results[count] = comparisons[benchmark]
+    return sweep_results

@@ -1,0 +1,116 @@
+"""Entanglement-link records.
+
+An :class:`EntanglementLink` describes one generated EPR pair shared between
+two nodes: when it was created, where its halves are stored (communication
+or buffer qubits), and when it was consumed or discarded.  The fidelity of
+the link at consumption time feeds the remote-gate fidelity model.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.entanglement.werner import werner_fidelity_after
+from repro.exceptions import EntanglementError
+
+__all__ = ["LinkLocation", "EntanglementLink"]
+
+_LINK_COUNTER = itertools.count()
+
+
+class LinkLocation(str, enum.Enum):
+    """Where the halves of a link currently reside."""
+
+    COMMUNICATION = "communication"
+    BUFFER = "buffer"
+    CONSUMED = "consumed"
+    DISCARDED = "discarded"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class EntanglementLink:
+    """One EPR pair shared between two nodes.
+
+    Attributes
+    ----------
+    node_pair:
+        The two node indices sharing the pair (normalised ``a < b``).
+    created_time:
+        Simulation time at which generation succeeded (attempt completion).
+    initial_fidelity:
+        Werner fidelity right after generation (Table II: 0.99).
+    location:
+        Current location of the link halves.
+    buffered_time:
+        Time at which the link was swapped into buffer qubits, if any.
+    consumed_time:
+        Time at which the link was consumed by a remote gate (or discarded).
+    pair_index:
+        Index of the communication-qubit pair that generated the link.
+    """
+
+    node_pair: Tuple[int, int]
+    created_time: float
+    initial_fidelity: float = 0.99
+    location: LinkLocation = LinkLocation.COMMUNICATION
+    buffered_time: Optional[float] = None
+    consumed_time: Optional[float] = None
+    pair_index: int = 0
+    link_id: int = field(default_factory=lambda: next(_LINK_COUNTER))
+
+    def __post_init__(self) -> None:
+        a, b = self.node_pair
+        if a == b:
+            raise EntanglementError("a link must connect two different nodes")
+        self.node_pair = (min(a, b), max(a, b))
+        if self.created_time < 0:
+            raise EntanglementError("creation time must be non-negative")
+        if not (0.0 < self.initial_fidelity <= 1.0):
+            raise EntanglementError("initial fidelity must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    def age(self, time: float) -> float:
+        """Time elapsed since generation."""
+        if time < self.created_time - 1e-12:
+            raise EntanglementError("cannot query a link before its creation")
+        return max(0.0, time - self.created_time)
+
+    def fidelity_at(self, time: float, kappa: float) -> float:
+        """Werner fidelity of the link after idling until ``time``."""
+        return werner_fidelity_after(self.initial_fidelity, self.age(time), kappa)
+
+    # ------------------------------------------------------------------
+    def move_to_buffer(self, time: float) -> None:
+        """Record that the link was swapped into buffer qubits at ``time``."""
+        if self.location is not LinkLocation.COMMUNICATION:
+            raise EntanglementError(
+                f"link {self.link_id} cannot move to buffer from {self.location}"
+            )
+        self.location = LinkLocation.BUFFER
+        self.buffered_time = time
+
+    def consume(self, time: float) -> float:
+        """Mark the link consumed by a remote gate; returns its age."""
+        if self.location in (LinkLocation.CONSUMED, LinkLocation.DISCARDED):
+            raise EntanglementError(f"link {self.link_id} was already released")
+        self.location = LinkLocation.CONSUMED
+        self.consumed_time = time
+        return self.age(time)
+
+    def discard(self, time: float) -> None:
+        """Mark the link discarded (cutoff policy or end of program)."""
+        if self.location in (LinkLocation.CONSUMED, LinkLocation.DISCARDED):
+            raise EntanglementError(f"link {self.link_id} was already released")
+        self.location = LinkLocation.DISCARDED
+        self.consumed_time = time
+
+    @property
+    def is_available(self) -> bool:
+        """Whether the link can still be consumed by a remote gate."""
+        return self.location in (LinkLocation.COMMUNICATION, LinkLocation.BUFFER)

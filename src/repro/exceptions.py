@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or invalid gate applications."""
+
+
+class GateError(CircuitError):
+    """Raised when a gate is constructed or applied incorrectly."""
+
+
+class DAGError(CircuitError):
+    """Raised for inconsistencies in the circuit dependency DAG."""
+
+
+class PartitionError(ReproError):
+    """Raised when a qubit partition is infeasible or invalid."""
+
+
+class ArchitectureError(ReproError):
+    """Raised for invalid hardware architecture configurations."""
+
+
+class EntanglementError(ReproError):
+    """Raised for invalid entanglement-generation configurations or states."""
+
+
+class BufferError(EntanglementError):
+    """Raised when buffer-pool operations are invalid (e.g. overfull)."""
+
+
+class NoiseError(ReproError):
+    """Raised for invalid noise channels or density matrices."""
+
+
+class SchedulingError(ReproError):
+    """Raised when adaptive scheduling cannot produce a valid schedule."""
+
+
+class RuntimeSimulationError(ReproError):
+    """Raised when the discrete-event executor reaches an invalid state."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for inconsistent experiment or system configuration."""
+
+
+class BenchmarkError(ReproError):
+    """Raised when a benchmark circuit cannot be generated as requested."""

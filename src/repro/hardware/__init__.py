@@ -1,0 +1,33 @@
+"""DQC hardware model: qubit roles, QPU nodes, architectures, parameters."""
+
+from repro.hardware.architecture import DQCArchitecture, two_node_architecture
+from repro.hardware.node import QPUNode
+from repro.hardware.parameters import (
+    DEFAULT_GATE_FIDELITIES,
+    DEFAULT_GATE_TIMES,
+    DEFAULT_PHYSICS,
+    OPERATION_TABLE,
+    GateFidelities,
+    GateTimes,
+    HeraldedLinkModel,
+    OperationProperties,
+    PhysicalConstants,
+)
+from repro.hardware.qubit import PhysicalQubit, QubitRole
+
+__all__ = [
+    "DQCArchitecture",
+    "two_node_architecture",
+    "QPUNode",
+    "PhysicalQubit",
+    "QubitRole",
+    "GateTimes",
+    "GateFidelities",
+    "PhysicalConstants",
+    "HeraldedLinkModel",
+    "OperationProperties",
+    "OPERATION_TABLE",
+    "DEFAULT_GATE_TIMES",
+    "DEFAULT_GATE_FIDELITIES",
+    "DEFAULT_PHYSICS",
+]

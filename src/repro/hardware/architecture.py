@@ -1,0 +1,196 @@
+"""Multi-node DQC architecture description.
+
+:class:`DQCArchitecture` bundles the QPU nodes, the interconnect between
+them, and the timing / fidelity / physical parameters into a single object
+consumed by the entanglement subsystem and the discrete-event executor.  The
+paper's main configuration is the 2-node, 16-data-qubits-per-node machine
+with 10 communication and 10 buffer qubits per node; helpers build that and
+the larger 64-qubit variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.node import QPUNode
+from repro.hardware.parameters import (
+    DEFAULT_GATE_FIDELITIES,
+    DEFAULT_GATE_TIMES,
+    DEFAULT_PHYSICS,
+    GateFidelities,
+    GateTimes,
+    PhysicalConstants,
+)
+from repro.exceptions import ArchitectureError
+
+__all__ = ["DQCArchitecture", "two_node_architecture"]
+
+NodePair = Tuple[int, int]
+
+
+@dataclass
+class DQCArchitecture:
+    """A distributed quantum computer: nodes plus interconnect parameters.
+
+    Parameters
+    ----------
+    nodes:
+        The QPU nodes.  Data qubits within a node are assumed fully
+        connected (as in the paper's evaluation).
+    gate_times:
+        Operation latencies (Table II).
+    fidelities:
+        Operation fidelities (Table II).
+    physics:
+        Physical constants (CNOT time, decoherence time, psucc).
+    links:
+        Optional explicit list of node pairs that share an optical
+        interconnect; ``None`` means all-to-all connectivity between nodes.
+    """
+
+    nodes: List[QPUNode]
+    gate_times: GateTimes = field(default_factory=GateTimes)
+    fidelities: GateFidelities = field(default_factory=GateFidelities)
+    physics: PhysicalConstants = field(default_factory=PhysicalConstants)
+    links: Optional[List[NodePair]] = None
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ArchitectureError("architecture needs at least one node")
+        indices = [node.index for node in self.nodes]
+        if indices != list(range(len(self.nodes))):
+            raise ArchitectureError("node indices must be 0..N-1 in order")
+        if self.links is not None:
+            for a, b in self.links:
+                if a == b or not (0 <= a < len(self.nodes)) or not (
+                    0 <= b < len(self.nodes)
+                ):
+                    raise ArchitectureError(f"invalid interconnect link ({a}, {b})")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of QPU nodes."""
+        return len(self.nodes)
+
+    @property
+    def total_data_qubits(self) -> int:
+        """Total data qubits across all nodes."""
+        return sum(node.num_data_qubits for node in self.nodes)
+
+    @property
+    def total_comm_qubits(self) -> int:
+        """Total communication qubits across all nodes."""
+        return sum(node.num_comm_qubits for node in self.nodes)
+
+    @property
+    def total_buffer_qubits(self) -> int:
+        """Total buffer qubits across all nodes."""
+        return sum(node.num_buffer_qubits for node in self.nodes)
+
+    @property
+    def decoherence_rate(self) -> float:
+        """Decoherence rate ``kappa`` per depth unit."""
+        return self.physics.decoherence_rate_per_unit
+
+    def node(self, index: int) -> QPUNode:
+        """Node by index."""
+        try:
+            return self.nodes[index]
+        except IndexError as exc:
+            raise ArchitectureError(f"no node with index {index}") from exc
+
+    def node_pairs(self) -> List[NodePair]:
+        """All connected node pairs (a < b)."""
+        if self.links is not None:
+            return sorted({(min(a, b), max(a, b)) for a, b in self.links})
+        return [
+            (a, b)
+            for a in range(self.num_nodes)
+            for b in range(a + 1, self.num_nodes)
+        ]
+
+    def are_connected(self, node_a: int, node_b: int) -> bool:
+        """Whether two nodes share an interconnect link."""
+        if node_a == node_b:
+            return False
+        return (min(node_a, node_b), max(node_a, node_b)) in self.node_pairs()
+
+    def comm_pairs_between(self, node_a: int, node_b: int) -> int:
+        """Number of communication-qubit pairs usable between two nodes.
+
+        With all-to-all node connectivity the paper dedicates each node's
+        communication qubits to its single peer (2-node setting); for more
+        nodes the qubits are divided evenly among the peers of each node.
+        """
+        if not self.are_connected(node_a, node_b):
+            return 0
+        pairs_per_node = []
+        for index in (node_a, node_b):
+            peers = sum(1 for pair in self.node_pairs() if index in pair)
+            comm = self.node(index).num_comm_qubits
+            pairs_per_node.append(comm // max(1, peers))
+        return min(pairs_per_node)
+
+    def buffer_capacity_between(self, node_a: int, node_b: int) -> int:
+        """Number of EPR pairs storable between two nodes (buffer-limited)."""
+        if not self.are_connected(node_a, node_b):
+            return 0
+        capacities = []
+        for index in (node_a, node_b):
+            peers = sum(1 for pair in self.node_pairs() if index in pair)
+            buffer = self.node(index).num_buffer_qubits
+            capacities.append(buffer // max(1, peers))
+        return min(capacities)
+
+    def reset_clocks(self) -> None:
+        """Reset the timing state of every qubit (between simulation runs)."""
+        for node in self.nodes:
+            node.reset_clocks()
+
+    def validate_capacity(self, qubits_per_node: List[int]) -> None:
+        """Check that each node can host the requested number of data qubits."""
+        if len(qubits_per_node) != self.num_nodes:
+            raise ArchitectureError("qubits_per_node length must equal num_nodes")
+        for node, demand in zip(self.nodes, qubits_per_node):
+            if demand > node.num_data_qubits:
+                raise ArchitectureError(
+                    f"node {node.index} hosts only {node.num_data_qubits} data "
+                    f"qubits but the program needs {demand}"
+                )
+
+    def describe(self) -> Dict[str, object]:
+        """Summary dictionary for reports."""
+        return {
+            "nodes": [node.describe() for node in self.nodes],
+            "psucc": self.physics.epr_success_probability,
+            "kappa_per_unit": self.decoherence_rate,
+            "epr_cycle": self.gate_times.epr_generation_cycle,
+        }
+
+
+def two_node_architecture(
+    data_qubits_per_node: int = 16,
+    comm_qubits_per_node: int = 10,
+    buffer_qubits_per_node: int = 10,
+    gate_times: Optional[GateTimes] = None,
+    fidelities: Optional[GateFidelities] = None,
+    physics: Optional[PhysicalConstants] = None,
+) -> DQCArchitecture:
+    """Build the paper's 2-node evaluation architecture.
+
+    Defaults correspond to the 32-data-qubit configuration of Sec. V-A
+    (16 fully connected data qubits, 10 communication and 10 buffer qubits
+    per node); the 64-qubit experiments of Sec. V-C use 32/20/20.
+    """
+    nodes = [
+        QPUNode(0, data_qubits_per_node, comm_qubits_per_node, buffer_qubits_per_node),
+        QPUNode(1, data_qubits_per_node, comm_qubits_per_node, buffer_qubits_per_node),
+    ]
+    return DQCArchitecture(
+        nodes=nodes,
+        gate_times=gate_times or GateTimes(),
+        fidelities=fidelities or GateFidelities(),
+        physics=physics or PhysicalConstants(),
+    )

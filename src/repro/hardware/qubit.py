@@ -1,0 +1,99 @@
+"""Physical qubit roles and bookkeeping.
+
+The architecture of the paper distinguishes three qubit roles per QPU node
+(Sec. III-B): *data* qubits evaluate the circuit, *communication* qubits run
+heralded entanglement-generation attempts, and *buffer* qubits store the
+halves of successfully generated EPR pairs after a local SWAP.  The runtime
+tracks, for every physical qubit, when it becomes free and how long it has
+idled (idling feeds the decoherence factor of the fidelity model).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ArchitectureError
+
+__all__ = ["QubitRole", "PhysicalQubit"]
+
+
+class QubitRole(str, enum.Enum):
+    """Role of a physical qubit within a QPU node."""
+
+    DATA = "data"
+    COMMUNICATION = "communication"
+    BUFFER = "buffer"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class PhysicalQubit:
+    """One physical qubit on a node.
+
+    Attributes
+    ----------
+    node:
+        Index of the hosting QPU node.
+    index:
+        Index of the qubit within its role group on that node.
+    role:
+        :class:`QubitRole` of the qubit.
+    busy_until:
+        Simulation time at which the qubit finishes its current operation.
+    total_busy_time:
+        Accumulated time spent executing operations (for utilisation stats).
+    last_release_time:
+        Time at which the qubit last became free (for idle accounting).
+    """
+
+    node: int
+    index: int
+    role: QubitRole
+    busy_until: float = 0.0
+    total_busy_time: float = 0.0
+    last_release_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.node < 0 or self.index < 0:
+            raise ArchitectureError("qubit node and index must be non-negative")
+
+    @property
+    def identifier(self) -> str:
+        """Stable textual identifier, e.g. ``"n0/data3"``."""
+        return f"n{self.node}/{self.role.value}{self.index}"
+
+    def is_free(self, time: float) -> bool:
+        """Whether the qubit is idle at the given simulation time."""
+        return time >= self.busy_until - 1e-12
+
+    def occupy(self, start: float, duration: float) -> float:
+        """Mark the qubit busy for ``duration`` starting at ``start``.
+
+        Returns the completion time.  Raises if the qubit is still busy at
+        ``start`` (the executor must respect resource availability).
+        """
+        if duration < 0:
+            raise ArchitectureError("operation duration must be non-negative")
+        if not self.is_free(start):
+            raise ArchitectureError(
+                f"qubit {self.identifier} is busy until {self.busy_until}, "
+                f"cannot start at {start}"
+            )
+        self.busy_until = start + duration
+        self.total_busy_time += duration
+        self.last_release_time = self.busy_until
+        return self.busy_until
+
+    def idle_time(self, until: float) -> float:
+        """Idle time accumulated between the last release and ``until``."""
+        return max(0.0, until - max(self.busy_until, self.last_release_time))
+
+    def reset_clock(self) -> None:
+        """Reset all timing bookkeeping (used between simulation runs)."""
+        self.busy_until = 0.0
+        self.total_busy_time = 0.0
+        self.last_release_time = 0.0

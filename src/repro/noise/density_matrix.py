@@ -1,0 +1,288 @@
+"""Dense density-matrix simulator for small registers.
+
+The paper evaluates the fidelity of a teleported remote gate by simulating
+the 4-qubit gate-teleportation circuit with a noisy Bell resource state,
+noisy local two-qubit gates, and noisy measurement (Sec. IV-C).  This module
+provides the small density-matrix simulator that evaluation runs on.  It is
+intentionally dense and simple — registers stay below ~10 qubits — and
+supports unitaries, Kraus channels, and measurement with classically
+controlled feed-forward corrections.
+
+Qubit ordering convention: qubit 0 is the most significant bit of the
+computational-basis index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import NoiseError
+
+__all__ = ["DensityMatrix", "expand_operator"]
+
+
+def expand_operator(operator: np.ndarray, qubits: Sequence[int],
+                    num_qubits: int) -> np.ndarray:
+    """Embed an operator acting on ``qubits`` into the full register space."""
+    k = len(qubits)
+    if operator.shape != (2 ** k, 2 ** k):
+        raise NoiseError(
+            f"operator shape {operator.shape} does not match {k} qubits"
+        )
+    if len(set(qubits)) != k:
+        raise NoiseError("operator qubits must be distinct")
+    if any(q < 0 or q >= num_qubits for q in qubits):
+        raise NoiseError("operator qubit index out of range")
+
+    rest = [q for q in range(num_qubits) if q not in qubits]
+    full = operator
+    for _ in rest:
+        full = np.kron(full, np.eye(2, dtype=complex))
+    # ``full`` now acts on qubit order [qubits..., rest...]; permute to 0..n-1.
+    current_order = list(qubits) + rest
+    position_of = {qubit: position for position, qubit in enumerate(current_order)}
+    permutation = [position_of[q] for q in range(num_qubits)]
+    tensor = full.reshape((2,) * (2 * num_qubits))
+    tensor = np.transpose(
+        tensor,
+        permutation + [num_qubits + p for p in permutation],
+    )
+    return tensor.reshape(2 ** num_qubits, 2 ** num_qubits)
+
+
+class DensityMatrix:
+    """A mixed state of ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register size (kept small; the matrix is dense).
+    matrix:
+        Optional initial density matrix; defaults to ``|0...0><0...0|``.
+    """
+
+    _MAX_QUBITS = 12
+
+    def __init__(self, num_qubits: int, matrix: Optional[np.ndarray] = None) -> None:
+        if num_qubits < 1:
+            raise NoiseError("density matrix needs at least one qubit")
+        if num_qubits > self._MAX_QUBITS:
+            raise NoiseError(
+                f"dense simulation limited to {self._MAX_QUBITS} qubits"
+            )
+        self.num_qubits = num_qubits
+        dim = 2 ** num_qubits
+        if matrix is None:
+            self._rho = np.zeros((dim, dim), dtype=complex)
+            self._rho[0, 0] = 1.0
+        else:
+            matrix = np.asarray(matrix, dtype=complex)
+            if matrix.shape != (dim, dim):
+                raise NoiseError(
+                    f"matrix shape {matrix.shape} does not match {num_qubits} qubits"
+                )
+            self._rho = matrix.copy()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_statevector(cls, statevector: Sequence[complex]) -> "DensityMatrix":
+        """Build a pure state from a state vector."""
+        vector = np.asarray(statevector, dtype=complex)
+        dim = vector.shape[0]
+        num_qubits = int(round(np.log2(dim)))
+        if 2 ** num_qubits != dim:
+            raise NoiseError("statevector length must be a power of two")
+        norm = np.linalg.norm(vector)
+        if norm < 1e-12:
+            raise NoiseError("statevector must be non-zero")
+        vector = vector / norm
+        return cls(num_qubits, np.outer(vector, vector.conj()))
+
+    @classmethod
+    def from_product(cls, factors: Sequence[np.ndarray]) -> "DensityMatrix":
+        """Tensor product of per-subsystem density matrices (in qubit order)."""
+        matrix = np.array([[1.0]], dtype=complex)
+        num_qubits = 0
+        for factor in factors:
+            factor = np.asarray(factor, dtype=complex)
+            size = factor.shape[0]
+            qubits = int(round(np.log2(size)))
+            if 2 ** qubits != size or factor.shape != (size, size):
+                raise NoiseError("each factor must be a square power-of-two matrix")
+            matrix = np.kron(matrix, factor)
+            num_qubits += qubits
+        return cls(num_qubits, matrix)
+
+    @classmethod
+    def maximally_entangled(cls, num_pairs: int = 1) -> "DensityMatrix":
+        """``num_pairs`` Bell pairs; pair ``k`` spans qubits ``2k`` and ``2k+1``."""
+        bell = np.zeros(4, dtype=complex)
+        bell[0] = bell[3] = 1.0 / np.sqrt(2.0)
+        state = cls.from_statevector(bell)
+        result = state
+        for _ in range(num_pairs - 1):
+            result = cls.from_product([result.matrix, np.outer(bell, bell.conj())])
+        return result
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying density matrix (copy)."""
+        return self._rho.copy()
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension."""
+        return 2 ** self.num_qubits
+
+    def trace(self) -> float:
+        """Trace of the density matrix (1 for normalised states)."""
+        return float(np.real(np.trace(self._rho)))
+
+    def purity(self) -> float:
+        """Purity ``Tr(rho^2)``."""
+        return float(np.real(np.trace(self._rho @ self._rho)))
+
+    def is_physical(self, atol: float = 1e-8) -> bool:
+        """Hermitian, unit trace, and positive semidefinite."""
+        if not np.allclose(self._rho, self._rho.conj().T, atol=atol):
+            return False
+        if abs(self.trace() - 1.0) > atol:
+            return False
+        eigenvalues = np.linalg.eigvalsh(self._rho)
+        return bool(np.all(eigenvalues > -atol))
+
+    # ------------------------------------------------------------------
+    # evolution
+    # ------------------------------------------------------------------
+    def apply_unitary(self, unitary: np.ndarray, qubits: Sequence[int]) -> None:
+        """Apply a unitary to the given qubits (in place)."""
+        full = expand_operator(np.asarray(unitary, dtype=complex), qubits,
+                               self.num_qubits)
+        self._rho = full @ self._rho @ full.conj().T
+
+    def apply_kraus(self, operators: Iterable[np.ndarray],
+                    qubits: Sequence[int]) -> None:
+        """Apply a Kraus channel to the given qubits (in place)."""
+        expanded = [
+            expand_operator(np.asarray(op, dtype=complex), qubits, self.num_qubits)
+            for op in operators
+        ]
+        result = np.zeros_like(self._rho)
+        for op in expanded:
+            result += op @ self._rho @ op.conj().T
+        self._rho = result
+
+    def apply_gate(self, gate) -> None:
+        """Apply a circuit-IR :class:`~repro.circuits.gate.Gate`."""
+        self.apply_unitary(gate.matrix(), gate.qubits)
+
+    def measure_with_feedforward(
+        self,
+        qubit: int,
+        corrections: Dict[int, List[Tuple[np.ndarray, Sequence[int]]]],
+        error_rate: float = 0.0,
+        basis: str = "z",
+    ) -> None:
+        """Measure ``qubit`` and apply outcome-conditioned corrections.
+
+        The measurement plus classically controlled correction is applied as
+        a single deterministic quantum channel (averaging over outcomes), so
+        repeated fidelity evaluations need no sampling.  With probability
+        ``error_rate`` the classical outcome is flipped and the *wrong*
+        correction branch is applied — this is how a noisy single-qubit
+        measurement (fidelity 99.8 % in Table II) enters the teleportation
+        evaluation.
+
+        Parameters
+        ----------
+        qubit:
+            The measured qubit (left in its post-measurement state).
+        corrections:
+            Mapping from outcome (0 / 1) to a list of ``(unitary, qubits)``
+            corrections applied to the rest of the register.
+        error_rate:
+            Classical readout error probability.
+        basis:
+            ``"z"`` (computational) or ``"x"`` (Hadamard before measuring).
+        """
+        if basis not in ("z", "x"):
+            raise NoiseError(f"unsupported measurement basis {basis!r}")
+        if not (0.0 <= error_rate <= 1.0):
+            raise NoiseError("measurement error rate must be in [0, 1]")
+        hadamard = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2.0)
+        if basis == "x":
+            self.apply_unitary(hadamard, (qubit,))
+
+        projector_0 = np.array([[1, 0], [0, 0]], dtype=complex)
+        projector_1 = np.array([[0, 0], [0, 1]], dtype=complex)
+        projectors = {0: projector_0, 1: projector_1}
+
+        result = np.zeros_like(self._rho)
+        for outcome in (0, 1):
+            projected = expand_operator(projectors[outcome], (qubit,),
+                                        self.num_qubits)
+            branch = projected @ self._rho @ projected.conj().T
+            for reported, weight in ((outcome, 1.0 - error_rate),
+                                     (1 - outcome, error_rate)):
+                if weight == 0.0:
+                    continue
+                corrected = branch.copy()
+                for unitary, target_qubits in corrections.get(reported, []):
+                    full = expand_operator(np.asarray(unitary, dtype=complex),
+                                           target_qubits, self.num_qubits)
+                    corrected = full @ corrected @ full.conj().T
+                result += weight * corrected
+        self._rho = result
+
+    # ------------------------------------------------------------------
+    # reductions and comparisons
+    # ------------------------------------------------------------------
+    def partial_trace(self, keep: Sequence[int]) -> "DensityMatrix":
+        """Trace out all qubits not in ``keep`` (result reordered as ``keep``)."""
+        keep = list(keep)
+        if len(set(keep)) != len(keep):
+            raise NoiseError("keep list must not contain duplicates")
+        if any(q < 0 or q >= self.num_qubits for q in keep):
+            raise NoiseError("keep qubit index out of range")
+        traced = [q for q in range(self.num_qubits) if q not in keep]
+        tensor = self._rho.reshape((2,) * (2 * self.num_qubits))
+        # Move kept row axes first, kept column axes next, traced pairs last.
+        row_axes = keep + traced
+        col_axes = [self.num_qubits + q for q in keep + traced]
+        tensor = np.transpose(tensor, row_axes + col_axes)
+        dim_keep = 2 ** len(keep)
+        dim_traced = 2 ** len(traced)
+        tensor = tensor.reshape(dim_keep, dim_traced, dim_keep, dim_traced)
+        reduced = np.trace(tensor, axis1=1, axis2=3)
+        return DensityMatrix(max(1, len(keep)), reduced)
+
+    def fidelity_with_pure(self, statevector: Sequence[complex]) -> float:
+        """Fidelity ``<psi| rho |psi>`` with a pure target state."""
+        vector = np.asarray(statevector, dtype=complex)
+        if vector.shape[0] != self.dim:
+            raise NoiseError("statevector dimension mismatch")
+        vector = vector / np.linalg.norm(vector)
+        return float(np.real(vector.conj() @ self._rho @ vector))
+
+    def expectation(self, operator: np.ndarray,
+                    qubits: Optional[Sequence[int]] = None) -> float:
+        """Expectation value of a (possibly local) Hermitian operator."""
+        if qubits is None:
+            full = np.asarray(operator, dtype=complex)
+            if full.shape != (self.dim, self.dim):
+                raise NoiseError("operator dimension mismatch")
+        else:
+            full = expand_operator(np.asarray(operator, dtype=complex), qubits,
+                                   self.num_qubits)
+        return float(np.real(np.trace(full @ self._rho)))
+
+    def copy(self) -> "DensityMatrix":
+        """Deep copy."""
+        return DensityMatrix(self.num_qubits, self._rho)

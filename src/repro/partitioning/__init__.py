@@ -1,0 +1,36 @@
+"""Graph-partitioning substrate (METIS substitute) and circuit distribution."""
+
+from repro.partitioning.assigner import (
+    DistributedProgram,
+    distribute_circuit,
+    label_remote_gates,
+    rebalance_partition,
+)
+from repro.partitioning.fiduccia_mattheyses import fm_bisection, fm_refine
+from repro.partitioning.interaction_graph import InteractionGraph
+from repro.partitioning.kernighan_lin import kernighan_lin_bisection, kl_refine
+from repro.partitioning.multilevel import (
+    MultilevelPartitioner,
+    multilevel_bisection,
+    partition_graph,
+)
+from repro.partitioning.partition import Partition
+from repro.partitioning.spectral import fiedler_vector, spectral_bisection
+
+__all__ = [
+    "InteractionGraph",
+    "Partition",
+    "kernighan_lin_bisection",
+    "kl_refine",
+    "fm_bisection",
+    "fm_refine",
+    "spectral_bisection",
+    "fiedler_vector",
+    "MultilevelPartitioner",
+    "multilevel_bisection",
+    "partition_graph",
+    "DistributedProgram",
+    "distribute_circuit",
+    "label_remote_gates",
+    "rebalance_partition",
+]

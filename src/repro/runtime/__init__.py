@@ -1,0 +1,26 @@
+"""Discrete-event runtime: event kernel, resources, designs, executor."""
+
+from repro.runtime.designs import DESIGNS, DesignSpec, get_design, list_designs
+from repro.runtime.events import Event, EventQueue, SimulationClock
+from repro.runtime.executor import DesignExecutor, execute_design
+from repro.runtime.metrics import ExecutionResult, RemoteGateRecord
+from repro.runtime.resources import DataQubitTracker, EntanglementDirectory
+from repro.runtime.trace import ExecutionTrace, GateTraceEntry
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimulationClock",
+    "DataQubitTracker",
+    "EntanglementDirectory",
+    "DesignSpec",
+    "DESIGNS",
+    "get_design",
+    "list_designs",
+    "DesignExecutor",
+    "execute_design",
+    "ExecutionResult",
+    "RemoteGateRecord",
+    "ExecutionTrace",
+    "GateTraceEntry",
+]

@@ -1,0 +1,106 @@
+"""Minimal discrete-event kernel.
+
+The executor advances a simulation clock and processes timestamped events in
+order.  The kernel is deliberately small: a monotonic clock plus a stable
+priority queue.  The gate-level executor mostly drives time through qubit
+availability, but the event queue is used for background processes (buffer
+cutoff expiry, tracing) and is exercised directly by tests and examples.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import RuntimeSimulationError
+
+__all__ = ["Event", "EventQueue", "SimulationClock"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A timestamped event with an arbitrary payload."""
+
+    time: float
+    kind: str
+    payload: Any = None
+
+
+class SimulationClock:
+    """Monotonically non-decreasing simulation clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise RuntimeSimulationError("clock cannot start at negative time")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def advance_to(self, time: float) -> float:
+        """Move the clock forward to ``time`` (never backwards)."""
+        if time < self._now - 1e-9:
+            raise RuntimeSimulationError(
+                f"clock cannot move backwards ({time} < {self._now})"
+            )
+        self._now = max(self._now, float(time))
+        return self._now
+
+    def advance_by(self, duration: float) -> float:
+        """Move the clock forward by ``duration``."""
+        if duration < 0:
+            raise RuntimeSimulationError("cannot advance by a negative duration")
+        self._now += float(duration)
+        return self._now
+
+
+class EventQueue:
+    """Stable min-heap of :class:`Event` objects ordered by time.
+
+    Events with equal timestamps are returned in insertion order, which makes
+    simulations reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Insert an event."""
+        if event.time < 0:
+            raise RuntimeSimulationError("event time must be non-negative")
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+
+    def schedule(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Create and insert an event."""
+        event = Event(time=time, kind=kind, payload=payload)
+        self.push(event)
+        return event
+
+    def peek(self) -> Optional[Event]:
+        """Next event without removing it (``None`` when empty)."""
+        if not self._heap:
+            return None
+        return self._heap[0][2]
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise RuntimeSimulationError("cannot pop from an empty event queue")
+        return heapq.heappop(self._heap)[2]
+
+    def pop_until(self, time: float) -> Iterator[Event]:
+        """Yield and remove all events with timestamp <= ``time``."""
+        while self._heap and self._heap[0][0] <= time + 1e-12:
+            yield self.pop()
+
+    def is_empty(self) -> bool:
+        """Whether the queue holds no events."""
+        return not self._heap

@@ -1,0 +1,120 @@
+"""Execution metrics and results.
+
+:class:`ExecutionResult` collects everything the evaluation needs from one
+simulated run: the circuit depth (makespan in local-CNOT units), the
+estimated output fidelity with its multiplicative breakdown, and the
+entanglement-supply statistics (generated / consumed / wasted pairs, waiting
+times) that explain *why* one design beats another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.noise.fidelity import FidelityBreakdown
+
+__all__ = ["RemoteGateRecord", "ExecutionResult"]
+
+
+@dataclass
+class RemoteGateRecord:
+    """Bookkeeping for one executed remote gate."""
+
+    gate_index: int
+    ready_time: float
+    start_time: float
+    finish_time: float
+    link_created_time: float
+    link_fidelity: float
+
+    @property
+    def wait_time(self) -> float:
+        """Time the gate waited for entanglement after becoming ready."""
+        return max(0.0, self.start_time - self.ready_time)
+
+    @property
+    def link_age(self) -> float:
+        """Age of the consumed link at the start of the teleportation."""
+        return max(0.0, self.start_time - self.link_created_time)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one simulated execution of a distributed program."""
+
+    design: str
+    benchmark: str
+    seed: int
+    makespan: float
+    fidelity: float
+    fidelity_breakdown: FidelityBreakdown
+    num_single_qubit: int
+    num_local_two_qubit: int
+    num_remote: int
+    num_measurements: int
+    qubit_idle_total: float
+    remote_records: List[RemoteGateRecord] = field(default_factory=list)
+    epr_statistics: Dict[str, float] = field(default_factory=dict)
+    variant_histogram: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> float:
+        """Circuit depth in local-CNOT units (alias for the makespan)."""
+        return self.makespan
+
+    def depth_relative_to(self, ideal_depth: float) -> float:
+        """Depth normalised by an ideal (monolithic) execution depth."""
+        if ideal_depth <= 0:
+            return float("inf")
+        return self.makespan / ideal_depth
+
+    def fidelity_relative_to(self, ideal_fidelity: float) -> float:
+        """Fidelity normalised by the ideal execution fidelity."""
+        if ideal_fidelity <= 0:
+            return 0.0
+        return self.fidelity / ideal_fidelity
+
+    # ------------------------------------------------------------------
+    def mean_remote_wait(self) -> float:
+        """Mean entanglement waiting time per remote gate."""
+        if not self.remote_records:
+            return 0.0
+        return sum(r.wait_time for r in self.remote_records) / len(self.remote_records)
+
+    def mean_link_age(self) -> float:
+        """Mean consumed-link age across remote gates."""
+        if not self.remote_records:
+            return 0.0
+        return sum(r.link_age for r in self.remote_records) / len(self.remote_records)
+
+    def mean_link_fidelity(self) -> float:
+        """Mean consumed-link fidelity across remote gates."""
+        if not self.remote_records:
+            return 0.0
+        return sum(r.link_fidelity for r in self.remote_records) / len(
+            self.remote_records
+        )
+
+    def epr_waste_fraction(self) -> float:
+        """Fraction of generated EPR pairs that were never consumed."""
+        generated = self.epr_statistics.get("generated", 0)
+        wasted = self.epr_statistics.get("wasted", 0)
+        if generated <= 0:
+            return 0.0
+        return wasted / generated
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary used by reports and tests."""
+        return {
+            "design": self.design,
+            "benchmark": self.benchmark,
+            "depth": self.makespan,
+            "fidelity": self.fidelity,
+            "remote_gates": self.num_remote,
+            "mean_remote_wait": self.mean_remote_wait(),
+            "mean_link_fidelity": self.mean_link_fidelity(),
+            "epr_generated": self.epr_statistics.get("generated", 0),
+            "epr_wasted": self.epr_statistics.get("wasted", 0),
+        }

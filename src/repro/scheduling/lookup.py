@@ -1,0 +1,105 @@
+"""Pre-compiled schedule lookup table.
+
+At run time the DQC controller cannot afford to resynthesise the circuit, so
+the paper pre-compiles the ASAP/ALAP variants of every segment and keeps a
+lookup table keyed by the number of available EPR pairs ``e``:
+
+* ``e > m``  → use the ASAP variant (consume the surplus immediately),
+* ``e == 0`` → use the ALAP variant (give generation time to catch up),
+* otherwise  → keep the original schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.scheduling.policies import AdaptivePolicy
+from repro.scheduling.segmentation import CircuitSegment, segment_circuit
+from repro.scheduling.variants import (
+    SchedulingVariant,
+    SegmentVariants,
+    compile_segment_variants,
+)
+from repro.exceptions import SchedulingError
+
+__all__ = ["ScheduleLookupTable", "build_lookup_table"]
+
+
+@dataclass
+class LookupDecision:
+    """Record of one run-time variant selection (kept for analysis/tests)."""
+
+    segment_index: int
+    available_epr: int
+    variant: str
+    decision_time: float
+
+
+class ScheduleLookupTable:
+    """Pre-compiled segment variants plus the run-time selection rule.
+
+    Parameters
+    ----------
+    variants:
+        One :class:`SegmentVariants` per circuit segment, in order.
+    policy:
+        The adaptive thresholds (defaults to the paper's rule with
+        ``m = segment length``).
+    """
+
+    def __init__(self, variants: List[SegmentVariants],
+                 policy: Optional[AdaptivePolicy] = None) -> None:
+        if not variants:
+            raise SchedulingError("lookup table needs at least one segment")
+        self.variants = variants
+        self.policy = policy or AdaptivePolicy()
+        self.decisions: List[LookupDecision] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def num_segments(self) -> int:
+        """Number of segments in the table."""
+        return len(self.variants)
+
+    def segment(self, index: int) -> CircuitSegment:
+        """The underlying segment at ``index``."""
+        return self.variants[index].segment
+
+    def select(self, segment_index: int, available_epr: int,
+               decision_time: float = 0.0) -> QuantumCircuit:
+        """Select a segment variant given the buffered EPR count.
+
+        Returns the chosen ordering and records the decision.
+        """
+        if not (0 <= segment_index < self.num_segments):
+            raise SchedulingError(f"segment index {segment_index} out of range")
+        segment_variants = self.variants[segment_index]
+        threshold = self.policy.effective_threshold(
+            segment_variants.segment.num_remote
+        )
+        variant = self.policy.choose(available_epr, threshold)
+        self.decisions.append(
+            LookupDecision(segment_index, available_epr, variant, decision_time)
+        )
+        return segment_variants.get(variant)
+
+    def variant_histogram(self) -> Dict[str, int]:
+        """How many times each variant was chosen (for reports and tests)."""
+        histogram = {name: 0 for name in SchedulingVariant.ALL}
+        for decision in self.decisions:
+            histogram[decision.variant] += 1
+        return histogram
+
+    def reset_decisions(self) -> None:
+        """Clear the recorded decisions (between simulation runs)."""
+        self.decisions = []
+
+
+def build_lookup_table(circuit: QuantumCircuit, remote_gates_per_segment: int,
+                       policy: Optional[AdaptivePolicy] = None) -> ScheduleLookupTable:
+    """Segment a remote-labelled circuit and pre-compile all variants."""
+    segments = segment_circuit(circuit, remote_gates_per_segment)
+    variants = [compile_segment_variants(segment) for segment in segments]
+    return ScheduleLookupTable(variants, policy=policy)

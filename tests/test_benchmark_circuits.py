@@ -1,0 +1,135 @@
+"""Unit tests for the TLIM / QAOA / QFT generators and the registry."""
+
+import pytest
+
+from repro.benchmarks import (
+    BENCHMARKS,
+    QAOAParameters,
+    TLIMParameters,
+    benchmark_properties,
+    build_benchmark,
+    get_benchmark,
+    list_benchmarks,
+    maxcut_value,
+    qaoa_maxcut_circuit,
+    qaoa_regular_circuit,
+    qft_circuit,
+    qft_expected_counts,
+    tlim_circuit,
+    tlim_expected_counts,
+)
+from repro.exceptions import BenchmarkError
+
+
+class TestTLIM:
+    def test_gate_counts_match_formula(self):
+        circuit = tlim_circuit(32, num_steps=10)
+        expected = tlim_expected_counts(32, 10)
+        assert circuit.num_two_qubit_gates() == expected["two_qubit"] == 310
+        assert circuit.num_single_qubit_gates() == expected["single_qubit"] == 640
+        assert circuit.depth() == expected["depth"] == 40
+
+    def test_linear_connectivity(self):
+        circuit = tlim_circuit(10, num_steps=3)
+        for a, b in circuit.interactions():
+            assert abs(a - b) == 1
+
+    def test_custom_parameters_set_angles(self):
+        params = TLIMParameters(coupling=2.0, transverse_field=1.0,
+                                longitudinal_field=0.0, time_step=0.25)
+        circuit = tlim_circuit(4, num_steps=1, parameters=params)
+        rzz = [g for g in circuit.gates if g.name == "rzz"]
+        assert rzz[0].params[0] == pytest.approx(params.zz_angle)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(BenchmarkError):
+            tlim_circuit(1)
+        with pytest.raises(BenchmarkError):
+            tlim_circuit(4, num_steps=0)
+
+
+class TestQAOA:
+    def test_layer_structure(self):
+        circuit = qaoa_regular_circuit(16, 4, layers=1, seed=2)
+        counts = circuit.count_ops()
+        assert counts["h"] == 16
+        assert counts["rx"] == 16
+        assert counts["rzz"] == 32  # n*d/2 edges
+
+    def test_two_layer_counts(self):
+        circuit = qaoa_regular_circuit(12, 4, layers=2, seed=2)
+        counts = circuit.count_ops()
+        assert counts["rx"] == 24
+        assert counts["rzz"] == 48
+
+    def test_explicit_edges(self):
+        edges = [(0, 1), (1, 2)]
+        circuit = qaoa_maxcut_circuit(3, edges)
+        assert circuit.num_two_qubit_gates() == 2
+
+    def test_invalid_edge_rejected(self):
+        with pytest.raises(BenchmarkError):
+            qaoa_maxcut_circuit(3, [(0, 5)])
+
+    def test_mismatched_angles_rejected(self):
+        with pytest.raises(BenchmarkError):
+            QAOAParameters(gammas=(0.1, 0.2), betas=(0.3,))
+
+    def test_maxcut_value(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        assert maxcut_value(edges, [0, 1, 0]) == 2
+        assert maxcut_value(edges, [0, 0, 0]) == 0
+
+
+class TestQFT:
+    def test_gate_counts(self):
+        circuit = qft_circuit(32)
+        expected = qft_expected_counts(32)
+        assert circuit.num_two_qubit_gates() == expected["two_qubit"] == 496
+        assert circuit.num_single_qubit_gates() == expected["single_qubit"] == 32
+        assert circuit.depth() == expected["depth"] == 63
+
+    def test_with_swaps(self):
+        circuit = qft_circuit(8, include_swaps=True)
+        assert circuit.count_ops()["swap"] == 4
+
+    def test_angles_decrease_geometrically(self):
+        circuit = qft_circuit(4)
+        cp_gates = [g for g in circuit.gates if g.name == "cp"]
+        first_qubit_angles = [g.params[0] for g in cp_gates[:3]]
+        assert first_qubit_angles[0] == pytest.approx(2 * first_qubit_angles[1])
+
+    def test_invalid_size(self):
+        with pytest.raises(BenchmarkError):
+            qft_circuit(0)
+
+
+class TestRegistry:
+    def test_all_benchmarks_build(self):
+        for name in list_benchmarks():
+            circuit = build_benchmark(name)
+            assert circuit.num_qubits == BENCHMARKS[name].num_qubits
+            assert circuit.name == name
+
+    def test_lookup_case_insensitive(self):
+        assert get_benchmark("qft-32").name == "QFT-32"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(BenchmarkError):
+            get_benchmark("nope")
+
+    def test_table1_order(self):
+        assert list_benchmarks() == [
+            "TLIM-32", "QAOA-r4-32", "QAOA-r8-32", "QFT-32",
+            "QAOA-r4-64", "QAOA-r8-64",
+        ]
+
+    def test_properties_helper(self):
+        props = benchmark_properties("TLIM-32")
+        assert props["qubits"] == 32
+        assert props["two_qubit"] == 310
+
+    def test_paper_columns_recorded(self):
+        spec = get_benchmark("QFT-32")
+        assert spec.paper_remote_2q == 256
+        assert spec.paper_local_2q == 240

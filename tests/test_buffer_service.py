@@ -1,0 +1,201 @@
+"""Unit tests for the buffer pool and the entanglement supply service."""
+
+import pytest
+
+from repro.entanglement import (
+    AttemptPolicy,
+    AttemptSchedule,
+    BufferPool,
+    EntanglementGenerator,
+    EntanglementLink,
+    EntanglementService,
+)
+from repro.exceptions import BufferError, EntanglementError
+
+
+def make_link(created=0.0, pair=(0, 1)):
+    return EntanglementLink(node_pair=pair, created_time=created)
+
+
+def make_service(policy=AttemptPolicy.ASYNCHRONOUS, capacity=10, psucc=0.4,
+                 seed=0, prefill=0, pairs=10, **kwargs):
+    schedule = AttemptSchedule(num_pairs=pairs, policy=policy)
+    generator = EntanglementGenerator(schedule, psucc, seed=seed)
+    return EntanglementService(generator, buffer_capacity=capacity, kappa=0.002,
+                               prefill=prefill, **kwargs)
+
+
+class TestBufferPool:
+    def test_store_and_consume(self):
+        pool = BufferPool(capacity=2)
+        link = make_link(0.0)
+        assert pool.store(link, 1.0)
+        assert len(pool) == 1
+        assert pool.count_available(0.5) == 0
+        assert pool.count_available(1.0) == 1
+        consumed = pool.pop_available(2.0)
+        assert consumed is link
+        assert pool.statistics.consumed_total == 1
+
+    def test_zero_capacity_rejects(self):
+        pool = BufferPool(capacity=0)
+        assert not pool.store(make_link(), 1.0)
+        assert pool.statistics.rejected_total == 1
+
+    def test_replace_oldest_when_full(self):
+        pool = BufferPool(capacity=1, replace_oldest_when_full=True)
+        old = make_link(0.0)
+        new = make_link(5.0)
+        pool.store(old, 1.0)
+        assert pool.store(new, 6.0)
+        assert pool.stored_links == [new]
+        assert pool.statistics.expired_total == 1
+
+    def test_reject_when_full_without_replacement(self):
+        pool = BufferPool(capacity=1, replace_oldest_when_full=False)
+        pool.store(make_link(0.0), 1.0)
+        assert not pool.store(make_link(2.0), 3.0)
+        assert pool.statistics.rejected_total == 1
+
+    def test_lifo_returns_freshest(self):
+        pool = BufferPool(capacity=3, consumption_order="lifo")
+        links = [make_link(t) for t in (0.0, 5.0, 10.0)]
+        for link in links:
+            pool.store(link, link.created_time + 1.0)
+        assert pool.pop_available(20.0) is links[2]
+
+    def test_fifo_returns_oldest(self):
+        pool = BufferPool(capacity=3, consumption_order="fifo")
+        links = [make_link(t) for t in (0.0, 5.0, 10.0)]
+        for link in links:
+            pool.store(link, link.created_time + 1.0)
+        assert pool.pop_available(20.0) is links[0]
+
+    def test_pop_without_available_raises(self):
+        pool = BufferPool(capacity=2)
+        with pytest.raises(BufferError):
+            pool.pop_available(1.0)
+        pool.store(make_link(5.0), 6.0)
+        with pytest.raises(BufferError):
+            pool.pop_available(2.0)
+
+    def test_cutoff_expiry(self):
+        pool = BufferPool(capacity=4, cutoff=10.0)
+        pool.store(make_link(0.0), 1.0)
+        pool.store(make_link(8.0), 9.0)
+        expired = pool.expire_until(15.0)
+        assert expired == 1
+        assert len(pool) == 1
+
+    def test_flush(self):
+        pool = BufferPool(capacity=4)
+        pool.store(make_link(0.0), 1.0)
+        pool.store(make_link(1.0), 2.0)
+        assert pool.flush(10.0) == 2
+        assert len(pool) == 0
+
+    def test_mean_consumed_age(self):
+        pool = BufferPool(capacity=2)
+        pool.store(make_link(0.0), 1.0)
+        pool.pop_available(5.0)
+        assert pool.statistics.mean_consumed_age == pytest.approx(5.0)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(BufferError):
+            BufferPool(capacity=-1)
+        with pytest.raises(BufferError):
+            BufferPool(capacity=1, cutoff=0.0)
+        with pytest.raises(BufferError):
+            BufferPool(capacity=1, consumption_order="weird")
+
+
+class TestEntanglementService:
+    def test_buffered_acquire_is_immediate_when_stocked(self):
+        service = make_service(psucc=1.0)
+        ready, link = service.acquire(50.0)
+        assert ready == pytest.approx(50.0)
+        assert link.created_time <= 50.0
+
+    def test_acquire_waits_when_nothing_generated_yet(self):
+        service = make_service(policy=AttemptPolicy.SYNCHRONOUS, psucc=1.0)
+        ready, _ = service.acquire(0.0)
+        assert ready >= 10.0
+
+    def test_acquires_are_distinct_links(self):
+        service = make_service(psucc=1.0)
+        ids = set()
+        for _ in range(20):
+            _, link = service.acquire(100.0)
+            ids.add(link.link_id)
+        assert len(ids) == 20
+
+    def test_unbuffered_waits_for_fresh_success(self):
+        service = make_service(capacity=0, psucc=1.0,
+                               policy=AttemptPolicy.SYNCHRONOUS)
+        ready, _ = service.acquire(12.0)
+        assert ready == pytest.approx(20.0)
+        assert service.statistics.consumed_direct == 1
+
+    def test_prefill_serves_at_time_zero(self):
+        service = make_service(prefill=5, psucc=0.4)
+        ready, link = service.acquire(0.0)
+        assert ready == pytest.approx(0.0)
+        assert link.created_time == 0.0
+
+    def test_prefill_bounded_by_capacity(self):
+        with pytest.raises(EntanglementError):
+            make_service(capacity=2, prefill=3)
+
+    def test_count_available_monotone_while_unconsumed(self):
+        service = make_service(psucc=1.0)
+        early = service.count_available(5.0)
+        late = service.count_available(50.0)
+        assert late >= early
+
+    def test_consumed_links_not_counted(self):
+        service = make_service(psucc=1.0)
+        before = service.count_available(40.0)
+        service.acquire(40.0)
+        after = service.count_available(40.0)
+        assert after == before - 1
+
+    def test_waste_accounting(self):
+        service = make_service(psucc=1.0, capacity=3)
+        service.advance_to(500.0)
+        service.finalize(500.0)
+        stats = service.statistics
+        assert stats.generated_total > 3
+        assert service.total_wasted > 0
+        assert stats.consumed_total == 0
+
+    def test_finalize_flushes_buffer(self):
+        service = make_service(psucc=1.0)
+        service.advance_to(100.0)
+        service.finalize(100.0)
+        assert service.count_available(100.0) == 0
+
+    def test_mean_consumed_fidelity_reasonable(self):
+        service = make_service(psucc=0.8, seed=2)
+        for t in range(20, 120, 10):
+            service.acquire(float(t))
+        fidelity = service.mean_consumed_fidelity()
+        assert 0.9 < fidelity <= 0.99
+
+    def test_async_waits_shorter_than_sync_when_empty(self):
+        sync = make_service(policy=AttemptPolicy.SYNCHRONOUS, psucc=1.0, seed=1)
+        async_service = make_service(policy=AttemptPolicy.ASYNCHRONOUS, psucc=1.0,
+                                     seed=1)
+        sync_ready, _ = sync.acquire(0.5)
+        async_ready, _ = async_service.acquire(0.5)
+        assert async_ready <= sync_ready
+
+    def test_invalid_acquire_time(self):
+        service = make_service()
+        with pytest.raises(EntanglementError):
+            service.acquire(-1.0)
+
+    def test_negative_kappa_rejected(self):
+        schedule = AttemptSchedule(num_pairs=1)
+        generator = EntanglementGenerator(schedule, 0.5)
+        with pytest.raises(EntanglementError):
+            EntanglementService(generator, buffer_capacity=1, kappa=-0.1)

@@ -1,0 +1,146 @@
+"""Unit tests for the QuantumCircuit container."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.gate import Gate
+from repro.exceptions import CircuitError
+
+
+class TestConstruction:
+    def test_needs_positive_register(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_builder_methods(self, bell_circuit):
+        assert bell_circuit.num_gates == 2
+        assert bell_circuit.count_ops() == {"h": 1, "cx": 1}
+
+    def test_out_of_range_gate_rejected(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.cx(0, 5)
+
+    def test_append_and_extend(self):
+        circuit = QuantumCircuit(3)
+        circuit.extend([Gate("h", (0,)), Gate("cx", (0, 1))])
+        assert circuit.num_gates == 2
+
+    def test_all_builders(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0); circuit.x(1); circuit.y(2); circuit.z(0); circuit.s(1)
+        circuit.t(2); circuit.rx(0.1, 0); circuit.ry(0.2, 1); circuit.rz(0.3, 2)
+        circuit.p(0.4, 0); circuit.cx(0, 1); circuit.cz(1, 2); circuit.cp(0.5, 0, 2)
+        circuit.rzz(0.6, 0, 1); circuit.swap(1, 2); circuit.measure(0)
+        circuit.barrier(1)
+        assert circuit.num_gates == 17
+        circuit.validate()
+
+
+class TestQueries:
+    def test_counts(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0)
+        circuit.rx(0.1, 1)
+        circuit.cx(0, 1)
+        circuit.rzz(0.2, 2, 3)
+        circuit.measure(0)
+        assert circuit.num_single_qubit_gates() == 2
+        assert circuit.num_two_qubit_gates() == 2
+        assert circuit.num_measurements() == 1
+        assert len(circuit.two_qubit_gates()) == 2
+
+    def test_qubits_used_and_interactions(self):
+        circuit = QuantumCircuit(5)
+        circuit.cx(3, 1)
+        circuit.h(0)
+        assert circuit.qubits_used() == (0, 1, 3)
+        assert circuit.interactions() == [(1, 3)]
+
+    def test_unit_depth(self, bell_circuit):
+        assert bell_circuit.depth() == 2
+
+    def test_weighted_depth(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        weights = {"h": 0.1, "cx": 1.0}
+        assert circuit.depth(weights) == pytest.approx(1.1)
+
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        assert circuit.depth() == 1
+
+    def test_measure_all(self):
+        circuit = QuantumCircuit(3)
+        circuit.measure_all()
+        assert circuit.num_measurements() == 3
+
+
+class TestTransformations:
+    def test_copy_is_independent(self, bell_circuit):
+        clone = bell_circuit.copy()
+        clone.x(0)
+        assert clone.num_gates == 3
+        assert bell_circuit.num_gates == 2
+
+    def test_compose(self, bell_circuit):
+        other = QuantumCircuit(2)
+        other.x(1)
+        combined = bell_circuit.compose(other)
+        assert combined.num_gates == 3
+        with pytest.raises(CircuitError):
+            bell_circuit.compose(QuantumCircuit(3))
+
+    def test_slicing(self, bell_circuit):
+        first = bell_circuit[:1]
+        assert isinstance(first, QuantumCircuit)
+        assert first.num_gates == 1
+        assert bell_circuit[1].name == "cx"
+
+    def test_remap_qubits(self, bell_circuit):
+        remapped = bell_circuit.remap_qubits({0: 1, 1: 0})
+        assert remapped.gates[1].qubits == (1, 0)
+
+    def test_remap_into_larger_register(self, bell_circuit):
+        remapped = bell_circuit.remap_qubits({0: 4, 1: 5}, num_qubits=6)
+        assert remapped.num_qubits == 6
+        assert remapped.gates[1].qubits == (4, 5)
+
+    def test_relabel_gates(self, bell_circuit):
+        labelled = bell_circuit.relabel_gates({1: "remote"})
+        assert labelled.gates[1].is_remote
+        assert not bell_circuit.gates[1].is_remote
+
+    def test_without_directives(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit.barrier(1)
+        assert circuit.without_directives().num_gates == 1
+
+    def test_inverse_round_trip_structure(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.rz(0.3, 0)
+        circuit.cx(0, 1)
+        circuit.t(1)
+        inverse = circuit.inverse()
+        assert [g.name for g in inverse.gates] == ["tdg", "cx", "rz", "h"]
+        assert inverse.gates[2].params == (-0.3,)
+
+    def test_inverse_rejects_measurement(self):
+        circuit = QuantumCircuit(1)
+        circuit.measure(0)
+        with pytest.raises(CircuitError):
+            circuit.inverse()
+
+    def test_equality(self, bell_circuit):
+        other = QuantumCircuit(2, name="different-name")
+        other.h(0)
+        other.cx(0, 1)
+        assert other == bell_circuit
+        other.x(1)
+        assert other != bell_circuit

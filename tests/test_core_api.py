@@ -1,0 +1,211 @@
+"""Tests for the high-level DQCSimulator API, configs, experiments, analysis."""
+
+import pytest
+
+from repro.analysis import (
+    comparison_report,
+    format_table,
+    relative_change,
+    relative_depth_report,
+    summarize,
+    table1_report,
+    table2_report,
+)
+from repro.benchmarks import tlim_circuit
+from repro.core import (
+    DQCSimulator,
+    ExperimentConfig,
+    ExperimentRunner,
+    PAPER_32Q_SYSTEM,
+    PAPER_64Q_SYSTEM,
+    SystemConfig,
+    run_comm_qubit_sweep,
+    run_design_comparison,
+)
+from repro.core.results import BenchmarkComparison, DesignSummary
+from repro.exceptions import ConfigurationError
+
+
+class TestSystemConfig:
+    def test_paper_configurations(self):
+        assert PAPER_32Q_SYSTEM.total_data_qubits == 32
+        assert PAPER_64Q_SYSTEM.total_data_qubits == 64
+        assert PAPER_64Q_SYSTEM.comm_qubits_per_node == 20
+
+    def test_build_architecture(self, small_system):
+        architecture = small_system.build_architecture()
+        assert architecture.total_data_qubits == small_system.total_data_qubits
+        assert architecture.physics.epr_success_probability == pytest.approx(0.4)
+
+    def test_with_comm_and_buffer(self):
+        tweaked = PAPER_32Q_SYSTEM.with_comm_and_buffer(15, 15)
+        assert tweaked.comm_qubits_per_node == 15
+        assert PAPER_32Q_SYSTEM.comm_qubits_per_node == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(num_nodes=1)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(data_qubits_per_node=0)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(comm_qubits_per_node=0)
+
+    def test_experiment_config(self, small_system):
+        config = ExperimentConfig(benchmarks=("TLIM-32",), num_runs=3,
+                                  base_seed=10, system=small_system)
+        assert config.seeds() == [10, 11, 12]
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(benchmarks=())
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(benchmarks=("TLIM-32",), num_runs=0)
+
+
+class TestSimulatorAPI:
+    def test_simulate_benchmark_by_name(self, small_simulator):
+        circuit = tlim_circuit(12, num_steps=1)
+        result = small_simulator.simulate(circuit, design="async_buf", seed=1)
+        assert result.depth > 0
+        assert 0 < result.fidelity <= 1
+
+    def test_program_cache_reused(self, small_simulator):
+        circuit = tlim_circuit(12, num_steps=1)
+        program = small_simulator.prepare(circuit)
+        assert small_simulator.prepare(program) is program
+
+    def test_named_benchmark_cached(self):
+        simulator = DQCSimulator()
+        first = simulator.prepare("TLIM-32")
+        second = simulator.prepare("tlim-32")
+        assert first is second
+
+    def test_simulate_all_designs(self, small_simulator):
+        circuit = tlim_circuit(12, num_steps=1)
+        results = small_simulator.simulate_all_designs(circuit, seed=2)
+        assert set(results) == {"original", "sync_buf", "async_buf", "adapt_buf",
+                                "init_buf", "ideal"}
+
+    def test_circuit_too_large_rejected(self, small_simulator):
+        with pytest.raises(ConfigurationError):
+            small_simulator.prepare(tlim_circuit(40, num_steps=1))
+
+    def test_invalid_input_type(self, small_simulator):
+        with pytest.raises(ConfigurationError):
+            small_simulator.prepare(42)
+
+    def test_describe(self, small_simulator):
+        description = small_simulator.describe()
+        assert description["system"]["psucc"] == pytest.approx(0.4)
+        assert "adapt_buf" in description["designs"]
+
+    def test_ideal_reference(self, small_simulator):
+        circuit = tlim_circuit(12, num_steps=1)
+        ideal = small_simulator.ideal_reference(circuit)
+        assert ideal.design == "ideal"
+
+
+class TestExperimentRunner:
+    def test_runner_aggregates(self, small_system):
+        config = ExperimentConfig(benchmarks=("TLIM-32",), designs=("ideal",),
+                                  num_runs=2, system=SystemConfig(
+                                      data_qubits_per_node=16,
+                                      comm_qubits_per_node=4,
+                                      buffer_qubits_per_node=4))
+        runner = ExperimentRunner(config)
+        comparison = runner.run_benchmark("TLIM-32")
+        assert comparison.design("ideal").num_runs == 2
+
+    def test_run_design_comparison_helper(self, small_system):
+        comparisons = run_design_comparison(
+            ["TLIM-32"], designs=["sync_buf", "async_buf", "ideal"], num_runs=2,
+            system=SystemConfig(data_qubits_per_node=16, comm_qubits_per_node=6,
+                                buffer_qubits_per_node=6),
+        )
+        comparison = comparisons["TLIM-32"]
+        relative = comparison.relative_depth_table()
+        assert relative["ideal"] == pytest.approx(1.0)
+        assert relative["sync_buf"] >= 1.0
+        assert comparison.depth_reduction_vs("sync_buf", "async_buf") > -0.5
+
+    def test_comm_qubit_sweep(self):
+        sweep = run_comm_qubit_sweep(
+            "TLIM-32", [4, 8], designs=["async_buf", "ideal"], num_runs=1,
+            base_system=SystemConfig(data_qubits_per_node=16,
+                                     comm_qubits_per_node=4,
+                                     buffer_qubits_per_node=4),
+        )
+        assert set(sweep) == {4, 8}
+        more = sweep[8].design("async_buf").depth.mean
+        fewer = sweep[4].design("async_buf").depth.mean
+        assert more <= fewer + 1e-9
+
+    def test_sweep_requires_counts(self):
+        with pytest.raises(ConfigurationError):
+            run_comm_qubit_sweep("TLIM-32", [])
+
+
+class TestAnalysis:
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0 and stats.maximum == 4.0
+        low, high = stats.confidence_interval()
+        assert low < stats.mean < high
+        assert stats.standard_error > 0
+
+    def test_summarize_single_sample(self):
+        stats = summarize([2.0])
+        assert stats.std == 0.0
+        assert stats.confidence_interval() == (2.0, 2.0)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_relative_change(self):
+        assert relative_change(10.0, 5.0) == pytest.approx(0.5)
+        assert relative_change(0.0, 5.0) == 0.0
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_table_reports(self):
+        table2 = table2_report()
+        assert "EPR pair preparation" in table2
+        table1 = table1_report(
+            {"X": {"qubits": 4, "local_2q": 3, "remote_2q": 1,
+                   "single_q": 2, "depth": 5}},
+            paper_values={"X": {"local_2q": 3, "remote_2q": 1, "single_q": 2,
+                                "depth": 5}},
+        )
+        assert "(paper)" in table1
+
+    def test_comparison_report(self, small_system):
+        comparisons = run_design_comparison(
+            ["TLIM-32"], designs=["async_buf", "ideal"], num_runs=1,
+            system=SystemConfig(data_qubits_per_node=16, comm_qubits_per_node=4,
+                                buffer_qubits_per_node=4),
+        )
+        comparison = comparisons["TLIM-32"]
+        depth_text = comparison_report(comparison, metric="depth")
+        fidelity_text = comparison_report(comparison, metric="fidelity")
+        assert "async_buf" in depth_text and "ideal" in fidelity_text
+        with pytest.raises(ValueError):
+            comparison_report(comparison, metric="volume")
+        summary_text = relative_depth_report([comparison])
+        assert "TLIM-32" in summary_text
+
+    def test_design_summary_from_results(self, small_simulator):
+        circuit = tlim_circuit(12, num_steps=1)
+        results = [small_simulator.simulate(circuit, design="async_buf", seed=s)
+                   for s in (1, 2)]
+        summary = DesignSummary.from_results(results)
+        assert summary.num_runs == 2
+        assert summary.depth.mean > 0
+        comparison = BenchmarkComparison(benchmark="toy")
+        comparison.add(summary)
+        assert comparison.designs == ["async_buf"]
+        with pytest.raises(ValueError):
+            DesignSummary.from_results([])

@@ -1,0 +1,124 @@
+"""Unit tests for the circuit dependency DAG."""
+
+import pytest
+
+from repro.circuits import CircuitDAG, QuantumCircuit
+from repro.exceptions import DAGError
+
+
+@pytest.fixture
+def chain_circuit():
+    circuit = QuantumCircuit(3, name="chain")
+    circuit.h(0)          # 0
+    circuit.cx(0, 1)      # 1 depends on 0
+    circuit.cx(1, 2)      # 2 depends on 1
+    circuit.h(2)          # 3 depends on 2
+    return circuit
+
+
+class TestStructure:
+    def test_dependencies(self, chain_circuit):
+        dag = CircuitDAG(chain_circuit)
+        assert dag.num_nodes == 4
+        assert dag.predecessors(0) == set()
+        assert dag.predecessors(1) == {0}
+        assert dag.predecessors(2) == {1}
+        assert dag.successors(1) == {2}
+
+    def test_roots_and_leaves(self, chain_circuit):
+        dag = CircuitDAG(chain_circuit)
+        assert dag.roots() == [0]
+        assert dag.leaves() == [3]
+
+    def test_parallel_gates_independent(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        dag = CircuitDAG(circuit)
+        assert dag.predecessors(1) == set()
+        assert sorted(dag.roots()) == [0, 1]
+
+    def test_remote_nodes(self, small_remote_circuit):
+        dag = CircuitDAG(small_remote_circuit)
+        remote = dag.remote_nodes()
+        assert all(dag.gate(i).is_remote for i in remote)
+        assert len(remote) == 2
+
+    def test_edges(self, chain_circuit):
+        dag = CircuitDAG(chain_circuit)
+        assert (0, 1) in dag.edges()
+        assert (1, 2) in dag.edges()
+
+    def test_unknown_node_raises(self, chain_circuit):
+        with pytest.raises(DAGError):
+            CircuitDAG(chain_circuit).node(99)
+
+
+class TestOrderings:
+    def test_topological_order_is_legal(self, small_remote_circuit):
+        dag = CircuitDAG(small_remote_circuit)
+        order = dag.topological_order()
+        assert dag.is_legal_order(order)
+        assert sorted(order) == list(range(dag.num_nodes))
+
+    def test_illegal_order_detected(self, chain_circuit):
+        dag = CircuitDAG(chain_circuit)
+        assert not dag.is_legal_order([3, 2, 1, 0])
+        assert not dag.is_legal_order([0, 1, 2])  # missing node
+
+    def test_layers_match_unit_depth(self, small_remote_circuit):
+        dag = CircuitDAG(small_remote_circuit)
+        assert len(dag.layers()) == small_remote_circuit.depth()
+
+    def test_layers_partition_nodes(self, small_remote_circuit):
+        dag = CircuitDAG(small_remote_circuit)
+        flattened = [i for layer in dag.layers() for i in layer]
+        assert sorted(flattened) == list(range(dag.num_nodes))
+
+    def test_to_circuit_round_trip(self, small_remote_circuit):
+        dag = CircuitDAG(small_remote_circuit)
+        rebuilt = dag.to_circuit()
+        assert rebuilt.num_gates == small_remote_circuit.num_gates
+
+    def test_to_circuit_rejects_bad_order(self, chain_circuit):
+        dag = CircuitDAG(chain_circuit)
+        with pytest.raises(DAGError):
+            dag.to_circuit([3, 2, 1, 0])
+
+
+class TestLevels:
+    def test_asap_levels_chain(self, chain_circuit):
+        dag = CircuitDAG(chain_circuit)
+        asap = dag.asap_levels()
+        assert asap[0] == 0
+        assert asap[1] == 1
+        assert asap[2] == 2
+
+    def test_weighted_asap(self, chain_circuit):
+        dag = CircuitDAG(chain_circuit)
+        durations = {"h": 0.1, "cx": 1.0}
+        asap = dag.asap_levels(durations)
+        assert asap[1] == pytest.approx(0.1)
+        assert asap[2] == pytest.approx(1.1)
+
+    def test_alap_not_before_asap(self, small_remote_circuit):
+        dag = CircuitDAG(small_remote_circuit)
+        asap = dag.asap_levels()
+        alap = dag.alap_levels()
+        for node in range(dag.num_nodes):
+            assert alap[node] >= asap[node] - 1e-9
+
+    def test_slack_non_negative(self, small_remote_circuit):
+        dag = CircuitDAG(small_remote_circuit)
+        assert all(value >= -1e-9 for value in dag.slack().values())
+
+    def test_critical_path_matches_depth(self, small_remote_circuit):
+        dag = CircuitDAG(small_remote_circuit)
+        assert dag.critical_path_length() == pytest.approx(
+            small_remote_circuit.depth()
+        )
+
+    def test_ancestors_descendants(self, chain_circuit):
+        dag = CircuitDAG(chain_circuit)
+        assert dag.ancestors(3) == {0, 1, 2}
+        assert dag.descendants(0) == {1, 2, 3}

@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import CircuitDAG, QuantumCircuit
+from repro.circuits.transforms import (
+    alap_variant,
+    asap_variant,
+    canonical_gate_multiset,
+    reorder_is_equivalent,
+)
+from repro.entanglement import AttemptPolicy, AttemptSchedule, werner_fidelity_after
+from repro.noise import depolarizing_kraus, validate_kraus
+from repro.partitioning import InteractionGraph, Partition, fm_refine, kl_refine
+from repro.runtime import DataQubitTracker, EventQueue
+from repro.analysis import summarize
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_circuits(draw, max_qubits=6, max_gates=25, remote_fraction=0.3):
+    """Random circuits over a small gate set with some remote labels."""
+    num_qubits = draw(st.integers(min_value=2, max_value=max_qubits))
+    num_gates = draw(st.integers(min_value=1, max_value=max_gates))
+    circuit = QuantumCircuit(num_qubits, name="hypothesis")
+    for _ in range(num_gates):
+        kind = draw(st.sampled_from(["h", "rz", "rx", "cx", "cz", "rzz"]))
+        if kind in ("h", "rz", "rx"):
+            qubit = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+            if kind == "h":
+                circuit.h(qubit)
+            else:
+                circuit.add_gate(kind, (qubit,), (draw(st.floats(0.1, 3.0)),))
+        else:
+            a = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+            b = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+            if a == b:
+                continue
+            label = "remote" if draw(st.floats(0, 1)) < remote_fraction else None
+            params = (draw(st.floats(0.1, 3.0)),) if kind == "rzz" else ()
+            circuit.add_gate(kind, (a, b), params, label=label)
+    if circuit.num_gates == 0:
+        circuit.h(0)
+    return circuit
+
+
+@st.composite
+def random_graphs(draw, max_vertices=14):
+    """Random interaction graphs with at least two vertices."""
+    num_vertices = draw(st.integers(min_value=4, max_value=max_vertices))
+    if num_vertices % 2:
+        num_vertices += 1
+    num_edges = draw(st.integers(min_value=1, max_value=3 * num_vertices))
+    weights = {}
+    for _ in range(num_edges):
+        a = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+        b = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+        if a == b:
+            continue
+        weights[(min(a, b), max(a, b))] = float(draw(st.integers(1, 5)))
+    return InteractionGraph(num_vertices, weights)
+
+
+# ---------------------------------------------------------------------------
+# circuit IR invariants
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(random_circuits())
+def test_dag_is_acyclic_and_complete(circuit):
+    dag = CircuitDAG(circuit)
+    order = dag.topological_order()
+    assert sorted(order) == list(range(circuit.num_gates))
+    assert dag.is_legal_order(order)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_circuits())
+def test_layers_cover_all_gates_once(circuit):
+    dag = CircuitDAG(circuit)
+    flattened = sorted(i for layer in dag.layers() for i in layer)
+    assert flattened == list(range(circuit.num_gates))
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_circuits())
+def test_alap_never_before_asap(circuit):
+    dag = CircuitDAG(circuit)
+    asap = dag.asap_levels()
+    alap = dag.alap_levels()
+    assert all(alap[i] >= asap[i] - 1e-9 for i in asap)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_circuits())
+def test_asap_alap_variants_are_equivalent_reorderings(circuit):
+    asap = asap_variant(circuit)
+    alap = alap_variant(circuit)
+    assert canonical_gate_multiset(asap) == canonical_gate_multiset(circuit)
+    assert canonical_gate_multiset(alap) == canonical_gate_multiset(circuit)
+    assert reorder_is_equivalent(circuit, asap)
+    assert reorder_is_equivalent(circuit, alap)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_circuits())
+def test_variant_depth_unchanged_gate_counts(circuit):
+    asap = asap_variant(circuit)
+    assert asap.num_two_qubit_gates() == circuit.num_two_qubit_gates()
+    assert asap.num_single_qubit_gates() == circuit.num_single_qubit_gates()
+
+
+# ---------------------------------------------------------------------------
+# partitioning invariants
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_kl_refinement_never_increases_cut(graph):
+    start = Partition.contiguous(graph.num_vertices, 2)
+    refined = kl_refine(graph, start)
+    assert refined.cut_weight(graph) <= start.cut_weight(graph) + 1e-9
+    assert sorted(refined.block_sizes()) == sorted(start.block_sizes())
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_fm_refinement_respects_balance(graph):
+    start = Partition.contiguous(graph.num_vertices, 2)
+    refined = fm_refine(graph, start, balance_tolerance=0.2)
+    assert refined.cut_weight(graph) <= start.cut_weight(graph) + 1e-9
+    max_side = (1.2 * graph.num_vertices / 2.0) + 1e-9
+    assert max(refined.block_sizes()) <= max_side
+    assert refined.num_vertices == graph.num_vertices
+
+
+# ---------------------------------------------------------------------------
+# entanglement invariants
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.floats(min_value=0.25, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1000.0),
+    st.floats(min_value=0.0, max_value=0.1),
+)
+def test_werner_decay_bounded(initial, elapsed, kappa):
+    fidelity = werner_fidelity_after(initial, elapsed, kappa)
+    assert 0.25 - 1e-9 <= fidelity <= max(initial, 0.25) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.sampled_from([AttemptPolicy.SYNCHRONOUS, AttemptPolicy.ASYNCHRONOUS]),
+    st.floats(min_value=0.0, max_value=120.0),
+)
+def test_attempt_completion_strictly_after_query(num_pairs, policy, time):
+    schedule = AttemptSchedule(num_pairs=num_pairs, policy=policy)
+    for pair in range(num_pairs):
+        index = schedule.attempt_index_completing_after(pair, time)
+        assert schedule.attempt_completion(pair, index) > time
+        if index > 0:
+            assert schedule.attempt_completion(pair, index - 1) <= time + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1.0), st.integers(1, 2))
+def test_depolarizing_channels_trace_preserving(probability, qubits):
+    assert validate_kraus(depolarizing_kraus(probability, qubits))
+
+
+# ---------------------------------------------------------------------------
+# runtime invariants
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+def test_event_queue_pops_in_order(times):
+    queue = EventQueue()
+    for t in times:
+        queue.schedule(t, "tick")
+    popped = [queue.pop().time for _ in range(len(times))]
+    assert popped == sorted(popped)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=25))
+def test_tracker_makespan_at_least_total_of_longest_qubit(durations):
+    tracker = DataQubitTracker(3)
+    start = 0.0
+    for duration in durations:
+        start = tracker.occupy((0,), tracker.available_time(0), duration)
+    assert tracker.makespan == tracker.available_time(0)
+    assert tracker.busy_time(0) == sum(durations) or math.isclose(
+        tracker.busy_time(0), sum(durations), rel_tol=1e-9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50))
+def test_summarize_bounds(samples):
+    stats = summarize(samples)
+    assert stats.minimum <= stats.mean <= stats.maximum
+    assert stats.std >= 0

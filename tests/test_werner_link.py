@@ -1,0 +1,129 @@
+"""Unit tests for Werner states and entanglement-link records."""
+
+import numpy as np
+import pytest
+
+from repro.entanglement import (
+    EntanglementLink,
+    LinkLocation,
+    WernerState,
+    werner_density_matrix,
+    werner_fidelity_after,
+)
+from repro.exceptions import EntanglementError
+
+
+class TestWernerDecay:
+    def test_no_decay_at_zero_time(self):
+        assert werner_fidelity_after(0.99, 0.0, 0.002) == pytest.approx(0.99)
+
+    def test_monotone_decrease(self):
+        values = [werner_fidelity_after(0.99, t, 0.002) for t in (0, 10, 50, 200)]
+        assert values == sorted(values, reverse=True)
+
+    def test_asymptote_is_quarter(self):
+        assert werner_fidelity_after(0.99, 1e7, 0.002) == pytest.approx(0.25, abs=1e-6)
+
+    def test_formula(self):
+        f0, t, kappa = 0.95, 25.0, 0.002
+        decay = np.exp(-2 * kappa * t)
+        expected = f0 * decay + (1 - decay) / 4
+        assert werner_fidelity_after(f0, t, kappa) == pytest.approx(expected)
+
+    def test_zero_kappa_preserves_fidelity(self):
+        assert werner_fidelity_after(0.9, 100.0, 0.0) == pytest.approx(0.9)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(EntanglementError):
+            werner_fidelity_after(1.5, 1.0, 0.1)
+        with pytest.raises(EntanglementError):
+            werner_fidelity_after(0.9, -1.0, 0.1)
+        with pytest.raises(EntanglementError):
+            werner_fidelity_after(0.9, 1.0, -0.1)
+
+
+class TestWernerState:
+    def test_density_matrix_properties(self):
+        rho = werner_density_matrix(0.9)
+        assert np.allclose(np.trace(rho), 1.0)
+        assert np.allclose(rho, rho.conj().T)
+        assert np.all(np.linalg.eigvalsh(rho) > -1e-12)
+
+    def test_fidelity_recovered_from_matrix(self):
+        fidelity = 0.87
+        rho = werner_density_matrix(fidelity)
+        bell = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert bell @ rho @ bell == pytest.approx(fidelity)
+
+    def test_pure_bell_limit(self):
+        rho = werner_density_matrix(1.0)
+        assert np.linalg.matrix_rank(np.round(rho, 10)) == 1
+
+    def test_entanglement_threshold(self):
+        assert WernerState(0.6).is_entangled()
+        assert not WernerState(0.45).is_entangled()
+
+    def test_concurrence(self):
+        assert WernerState(1.0).concurrence() == pytest.approx(1.0)
+        assert WernerState(0.5).concurrence() == pytest.approx(0.0)
+
+    def test_after_idling(self):
+        state = WernerState(0.99).after_idling(50.0, 0.002)
+        assert state.fidelity < 0.99
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(EntanglementError):
+            WernerState(0.1)
+        with pytest.raises(EntanglementError):
+            werner_density_matrix(0.2)
+
+
+class TestEntanglementLink:
+    def test_normalised_node_pair(self):
+        link = EntanglementLink(node_pair=(1, 0), created_time=5.0)
+        assert link.node_pair == (0, 1)
+
+    def test_age_and_fidelity(self):
+        link = EntanglementLink(node_pair=(0, 1), created_time=10.0,
+                                initial_fidelity=0.99)
+        assert link.age(15.0) == pytest.approx(5.0)
+        assert link.fidelity_at(10.0, 0.002) == pytest.approx(0.99)
+        assert link.fidelity_at(60.0, 0.002) < 0.99
+
+    def test_age_before_creation_rejected(self):
+        link = EntanglementLink(node_pair=(0, 1), created_time=10.0)
+        with pytest.raises(EntanglementError):
+            link.age(5.0)
+
+    def test_lifecycle(self):
+        link = EntanglementLink(node_pair=(0, 1), created_time=0.0)
+        assert link.is_available
+        link.move_to_buffer(1.0)
+        assert link.location is LinkLocation.BUFFER
+        age = link.consume(7.0)
+        assert age == pytest.approx(7.0)
+        assert not link.is_available
+        with pytest.raises(EntanglementError):
+            link.consume(8.0)
+
+    def test_discard(self):
+        link = EntanglementLink(node_pair=(0, 1), created_time=0.0)
+        link.discard(3.0)
+        assert link.location is LinkLocation.DISCARDED
+        with pytest.raises(EntanglementError):
+            link.discard(4.0)
+
+    def test_buffer_transition_only_from_comm(self):
+        link = EntanglementLink(node_pair=(0, 1), created_time=0.0)
+        link.move_to_buffer(1.0)
+        with pytest.raises(EntanglementError):
+            link.move_to_buffer(2.0)
+
+    def test_same_node_rejected(self):
+        with pytest.raises(EntanglementError):
+            EntanglementLink(node_pair=(2, 2), created_time=0.0)
+
+    def test_unique_ids(self):
+        a = EntanglementLink(node_pair=(0, 1), created_time=0.0)
+        b = EntanglementLink(node_pair=(0, 1), created_time=0.0)
+        assert a.link_id != b.link_id
