@@ -1,0 +1,132 @@
+"""Engine benchmark — compile-cache speedup and parallel backend wall-clock.
+
+Measures the two wins of the compile-once / execute-many engine:
+
+* **compile cache** — wall-clock of compiling the benchmarks × designs grid
+  cold versus re-compiling it against a warm artifact cache (the situation
+  of every repetition after the first, and of sweep steps that share a
+  cache), and
+* **execution backends** — wall-clock of replaying the full seed × cell
+  grid through :class:`SerialBackend` versus :class:`ProcessPoolBackend`,
+  asserting the results are identical.
+
+Emits ``BENCH_engine.json`` next to the repository root so runs can be
+archived and compared.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import emit, repetitions
+from repro.core import ExperimentConfig, SystemConfig
+from repro.engine import (
+    ArtifactCache,
+    CellCompiler,
+    ExperimentEngine,
+    ProcessPoolBackend,
+)
+from repro.engine.backends import ExecutionTask
+
+BENCHMARKS = ("TLIM-32", "QAOA-r4-32")
+DESIGNS = ("original", "async_buf", "adapt_buf", "init_buf")
+SYSTEM = SystemConfig()
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _config(num_runs: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        benchmarks=BENCHMARKS, designs=DESIGNS, num_runs=num_runs,
+        base_seed=1, system=SYSTEM,
+    )
+
+
+def _compile_grid(cache: ArtifactCache) -> float:
+    compiler = CellCompiler(system=SYSTEM, cache=cache)
+    start = time.perf_counter()
+    for benchmark in BENCHMARKS:
+        for design in DESIGNS:
+            compiler.compile(benchmark, design)
+    return time.perf_counter() - start
+
+
+def test_engine_benchmark():
+    """Time the compile cache and the execution backends, emit JSON."""
+    num_runs = repetitions(default=3)
+    config = _config(num_runs)
+
+    # --- compile stage: cold vs warm cache -----------------------------
+    cold_s = _compile_grid(ArtifactCache())
+    warm_cache = ArtifactCache()
+    _compile_grid(warm_cache)
+    warm_s = _compile_grid(warm_cache)
+    compile_speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+
+    # --- execute stage: serial vs process pool -------------------------
+    serial_engine = ExperimentEngine(config, backend="serial")
+    cells = serial_engine.compile_grid()
+    serial_engine.execute_cells(cells)  # warm up (first-touch allocations)
+    start = time.perf_counter()
+    serial_results = serial_engine.execute_cells(cells)
+    serial_s = time.perf_counter() - start
+
+    workers = min(4, os.cpu_count() or 1)
+    with ProcessPoolBackend(max_workers=workers) as backend:
+        process_engine = ExperimentEngine(config, backend=backend,
+                                          compiler=serial_engine.compiler)
+        # Warm the pool (worker spawn) outside the timed region with one
+        # real task; an empty batch would return before creating workers.
+        backend.execute([ExecutionTask(cells[0], config.base_seed)])
+        start = time.perf_counter()
+        process_results = process_engine.execute_cells(cells)
+        process_s = time.perf_counter() - start
+
+    for serial_cell, process_cell in zip(serial_results, process_results):
+        for serial_run, process_run in zip(serial_cell, process_cell):
+            assert serial_run.makespan == process_run.makespan
+            assert serial_run.fidelity == process_run.fidelity
+
+    # --- report ---------------------------------------------------------
+    tasks = len(cells) * num_runs
+    payload = {
+        "benchmarks": list(BENCHMARKS),
+        "designs": list(DESIGNS),
+        "num_runs": num_runs,
+        "tasks": tasks,
+        "compile": {
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "speedup": compile_speedup,
+            "cache_stats": warm_cache.stats(),
+        },
+        "execute": {
+            "serial_s": serial_s,
+            "process_s": process_s,
+            "process_workers": workers,
+            "speedup": serial_s / process_s if process_s > 0 else float("inf"),
+            "identical_results": True,
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        "Engine — compile cache and backend wall-clock",
+        "\n".join([
+            f"grid: {len(BENCHMARKS)} benchmarks x {len(DESIGNS)} designs "
+            f"x {num_runs} runs ({tasks} tasks)",
+            f"compile cold:   {cold_s * 1e3:8.1f} ms",
+            f"compile warm:   {warm_s * 1e3:8.1f} ms  "
+            f"(speedup {compile_speedup:.0f}x)",
+            f"execute serial: {serial_s * 1e3:8.1f} ms",
+            f"execute pool:   {process_s * 1e3:8.1f} ms  "
+            f"({workers} workers, identical results)",
+            f"written: {OUTPUT_PATH.name}",
+        ]),
+    )
+
+    # The warm compile must be served from the cache, i.e. dramatically
+    # cheaper than the cold compile.
+    assert compile_speedup > 5

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import emit, repetitions
+from conftest import backend_name, emit, repetitions
 from repro.analysis import comparison_report, relative_depth_report
 from repro.core import PAPER_32Q_SYSTEM, run_design_comparison
 
@@ -20,7 +20,8 @@ BENCHMARKS_32Q = ["TLIM-32", "QAOA-r4-32", "QAOA-r8-32", "QFT-32"]
 @pytest.fixture(scope="module")
 def fig5_results():
     return run_design_comparison(
-        BENCHMARKS_32Q, num_runs=repetitions(), system=PAPER_32Q_SYSTEM, base_seed=1
+        BENCHMARKS_32Q, num_runs=repetitions(), system=PAPER_32Q_SYSTEM,
+        base_seed=1, backend=backend_name(),
     )
 
 

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import emit, repetitions
-from repro.analysis import comparison_report
+from conftest import backend_name, emit, repetitions
+from repro.analysis import comparison_report, sweep_report
 from repro.core import PAPER_32Q_SYSTEM, run_comm_qubit_sweep
 
 DESIGNS = ["sync_buf", "async_buf", "adapt_buf", "init_buf", "ideal"]
@@ -22,14 +22,14 @@ COUNTS = [10, 15, 20]
 def fig7_results():
     return run_comm_qubit_sweep(
         "QAOA-r8-32", COUNTS, designs=DESIGNS, num_runs=repetitions(),
-        base_system=PAPER_32Q_SYSTEM, base_seed=21,
+        base_system=PAPER_32Q_SYSTEM, base_seed=21, backend=backend_name(),
     )
 
 
 def test_fig7_comm_qubit_sweep(benchmark, fig7_results):
     """Print the Fig. 7 panels and check the scaling trend."""
     def render():
-        blocks = []
+        blocks = [sweep_report(fig7_results, "depth")]
         for count, comparison in fig7_results.items():
             blocks.append(
                 f"#comm_qb = {count}, #buff_qb = {count}\n"

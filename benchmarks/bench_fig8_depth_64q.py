@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import emit, repetitions
+from conftest import backend_name, emit, repetitions
 from repro.analysis import comparison_report, relative_depth_report
 from repro.core import PAPER_64Q_SYSTEM, run_design_comparison
 
@@ -20,7 +20,8 @@ BENCHMARKS_64Q = ["QAOA-r4-64", "QAOA-r8-64"]
 @pytest.fixture(scope="module")
 def fig8_results():
     return run_design_comparison(
-        BENCHMARKS_64Q, num_runs=repetitions(), system=PAPER_64Q_SYSTEM, base_seed=31
+        BENCHMARKS_64Q, num_runs=repetitions(), system=PAPER_64Q_SYSTEM,
+        base_seed=31, backend=backend_name(),
     )
 
 

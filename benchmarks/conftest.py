@@ -3,7 +3,10 @@
 Every benchmark regenerates one table or figure of the paper and prints the
 corresponding rows/series.  The number of stochastic repetitions per cell is
 controlled by the ``REPRO_RUNS`` environment variable (default 3 so the whole
-harness completes in a couple of minutes; the paper uses 50).
+harness completes in a couple of minutes; the paper uses 50).  The execution
+backend of the figure sweeps is controlled by ``REPRO_BACKEND`` (``serial``
+by default; set ``process`` to fan the seed × cell grid out across cores —
+results are identical by construction).
 """
 
 from __future__ import annotations
@@ -16,6 +19,11 @@ import pytest
 def repetitions(default: int = 3) -> int:
     """Number of stochastic repetitions per (benchmark, design) cell."""
     return int(os.environ.get("REPRO_RUNS", default))
+
+
+def backend_name(default: str = "serial") -> str:
+    """Execution backend used by the figure sweeps."""
+    return os.environ.get("REPRO_BACKEND", default)
 
 
 @pytest.fixture(scope="session")

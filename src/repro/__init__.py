@@ -32,6 +32,18 @@ from repro.core import (
     run_comm_qubit_sweep,
     run_design_comparison,
 )
+from repro.engine import (
+    ArtifactCache,
+    CellCompiler,
+    CompiledCell,
+    ExecutionBackend,
+    ExperimentEngine,
+    ProcessPoolBackend,
+    SerialBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from repro.hardware import DQCArchitecture, two_node_architecture
 from repro.partitioning import DistributedProgram, distribute_circuit
 from repro.runtime import DesignExecutor, ExecutionResult, execute_design, list_designs
@@ -56,5 +68,15 @@ __all__ = [
     "ExperimentRunner",
     "run_design_comparison",
     "run_comm_qubit_sweep",
+    "ArtifactCache",
+    "CellCompiler",
+    "CompiledCell",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "get_backend",
+    "register_backend",
+    "list_backends",
+    "ExperimentEngine",
     "__version__",
 ]

@@ -4,6 +4,7 @@ from repro.analysis.report import (
     comparison_report,
     format_table,
     relative_depth_report,
+    sweep_report,
     table1_report,
     table2_report,
 )
@@ -17,5 +18,6 @@ __all__ = [
     "table1_report",
     "table2_report",
     "comparison_report",
+    "sweep_report",
     "relative_depth_report",
 ]

@@ -20,6 +20,7 @@ __all__ = [
     "table1_report",
     "table2_report",
     "comparison_report",
+    "sweep_report",
     "relative_depth_report",
 ]
 
@@ -99,6 +100,39 @@ def comparison_report(comparison: "BenchmarkComparison",
                      f"{stats.std:.2f}" if metric == "depth" else f"{stats.std:.4f}",
                      f"{relative:.3f}"])
     title = f"{comparison.benchmark} — {metric}"
+    return title + "\n" + format_table(headers, rows)
+
+
+def sweep_report(sweep: Mapping[int, "BenchmarkComparison"],
+                 metric: str = "depth") -> str:
+    """Fig. 7 style report: one design × qubit-count table for a sweep.
+
+    ``sweep`` maps communication/buffer qubit counts to the
+    :class:`BenchmarkComparison` evaluated at that count (the shape returned
+    by :func:`repro.core.experiment.run_comm_qubit_sweep`).
+    """
+    if metric not in ("depth", "fidelity"):
+        raise ValueError(f"unknown metric {metric!r}")
+    if not sweep:
+        return "(no results)"
+    counts = sorted(sweep)
+    designs = sweep[counts[0]].designs
+    benchmark = sweep[counts[0]].benchmark
+    headers = ["Design"] + [f"{count}/{count}" for count in counts]
+    rows = []
+    for design in designs:
+        cells = []
+        for count in counts:
+            table = (sweep[count].depth_table() if metric == "depth"
+                     else sweep[count].fidelity_table())
+            value = table.get(design)
+            if value is None:
+                cells.append("-")
+            else:
+                cells.append(f"{value:.2f}" if metric == "depth"
+                             else f"{value:.4f}")
+        rows.append([design] + cells)
+    title = f"{benchmark} — {metric} vs #comm/#buffer qubits per node"
     return title + "\n" + format_table(headers, rows)
 
 

@@ -48,16 +48,21 @@ def summarize(samples: Sequence[float]) -> SampleStatistics:
     if not values:
         raise ConfigurationError("cannot summarise an empty sample list")
     count = len(values)
-    mean = sum(values) / count
+    minimum = min(values)
+    maximum = max(values)
+    # fsum for accuracy, then clamp: float division can round the mean one
+    # ULP outside [min, max] (e.g. three identical samples), breaking the
+    # min <= mean <= max invariant consumers rely on.
+    mean = min(max(math.fsum(values) / count, minimum), maximum)
     if count > 1:
-        variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+        variance = math.fsum((v - mean) ** 2 for v in values) / (count - 1)
     else:
         variance = 0.0
     return SampleStatistics(
         mean=mean,
         std=math.sqrt(variance),
-        minimum=min(values),
-        maximum=max(values),
+        minimum=minimum,
+        maximum=maximum,
         count=count,
     )
 

@@ -5,6 +5,14 @@ circuit (or a benchmark name), partitions it over the nodes of a
 :class:`~repro.core.config.SystemConfig`, and simulates its execution under
 any of the paper's designs, returning depth / fidelity metrics.
 
+Since the compile-once / execute-many refactor the simulator is a thin
+wrapper over :class:`~repro.engine.compiler.CellCompiler`: every
+``simulate`` call first compiles (or fetches from the artifact cache) the
+deterministic :class:`~repro.engine.compiler.CompiledCell` of its
+(benchmark, design) pair, then replays it under the requested seed.  The
+schedule lookup table of an adaptive design is therefore built once per
+cell no matter how many seeds are simulated.
+
 Example
 -------
 >>> from repro import DQCSimulator
@@ -16,19 +24,17 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
-from repro.benchmarks.registry import build_benchmark
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.config import SystemConfig
+from repro.engine.compiler import CellCompiler
 from repro.hardware.architecture import DQCArchitecture
-from repro.partitioning.assigner import DistributedProgram, distribute_circuit
-from repro.runtime.designs import get_design, list_designs
+from repro.partitioning.assigner import DistributedProgram
+from repro.runtime.designs import list_designs
 from repro.runtime.executor import DesignExecutor
 from repro.runtime.metrics import ExecutionResult
 from repro.scheduling.policies import AdaptivePolicy
-from repro.exceptions import ConfigurationError
 
 __all__ = ["DQCSimulator"]
 
@@ -48,24 +54,44 @@ class DQCSimulator:
         (``"multilevel"`` is the METIS-baseline substitute).
     partition_seed:
         Seed of the partitioner (partitioning is deterministic per seed).
+    compiler:
+        Optional pre-configured :class:`CellCompiler`; pass one to share
+        compiled artifacts (partitioned programs, lookup tables) with an
+        :class:`~repro.engine.pipeline.ExperimentEngine`.  When given, the
+        ``system`` / ``partition_*`` arguments are taken from the compiler.
+
+    Attributes
+    ----------
+    last_executor:
+        The :class:`DesignExecutor` of the most recent ``simulate`` call
+        (``None`` until the first call) — exposes the execution trace when
+        ``collect_trace=True``.
     """
 
     def __init__(self, system: Optional[SystemConfig] = None,
                  partition_method: str = "multilevel",
-                 partition_seed: int = 0) -> None:
-        self.system = system or SystemConfig()
-        self.partition_method = partition_method
-        self.partition_seed = partition_seed
-        self._architecture: Optional[DQCArchitecture] = None
-        self._program_cache: Dict[str, DistributedProgram] = {}
+                 partition_seed: int = 0,
+                 compiler: Optional[CellCompiler] = None) -> None:
+        self._compiler = compiler or CellCompiler(
+            system=system,
+            partition_method=partition_method,
+            partition_seed=partition_seed,
+        )
+        self.system = self._compiler.system
+        self.partition_method = self._compiler.partition_method
+        self.partition_seed = self._compiler.partition_seed
+        self.last_executor: Optional[DesignExecutor] = None
 
     # ------------------------------------------------------------------
     @property
+    def compiler(self) -> CellCompiler:
+        """The compile stage backing this simulator."""
+        return self._compiler
+
+    @property
     def architecture(self) -> DQCArchitecture:
         """The materialised hardware architecture (built lazily)."""
-        if self._architecture is None:
-            self._architecture = self.system.build_architecture()
-        return self._architecture
+        return self._compiler.architecture
 
     # ------------------------------------------------------------------
     def prepare(self, circuit: CircuitLike) -> DistributedProgram:
@@ -75,32 +101,7 @@ class DQCSimulator:
         designs and repetitions, matching the paper's methodology where the
         METIS partition is computed once per benchmark.
         """
-        if isinstance(circuit, DistributedProgram):
-            return circuit
-        if isinstance(circuit, str):
-            key = circuit.lower()
-            if key not in self._program_cache:
-                built = build_benchmark(circuit)
-                self._program_cache[key] = self._distribute(built)
-            return self._program_cache[key]
-        if isinstance(circuit, QuantumCircuit):
-            return self._distribute(circuit)
-        raise ConfigurationError(
-            f"cannot interpret {type(circuit).__name__} as a circuit"
-        )
-
-    def _distribute(self, circuit: QuantumCircuit) -> DistributedProgram:
-        if circuit.num_qubits > self.system.total_data_qubits:
-            raise ConfigurationError(
-                f"circuit needs {circuit.num_qubits} data qubits but the system "
-                f"provides {self.system.total_data_qubits}"
-            )
-        return distribute_circuit(
-            circuit,
-            num_nodes=self.system.num_nodes,
-            method=self.partition_method,
-            seed=self.partition_seed,
-        )
+        return self._compiler.resolve_program(circuit)
 
     # ------------------------------------------------------------------
     def simulate(
@@ -130,16 +131,13 @@ class DQCSimulator:
         collect_trace:
             Record a per-gate execution trace (available on the executor).
         """
-        program = self.prepare(circuit)
-        executor = DesignExecutor(
-            self.architecture,
-            get_design(design),
-            seed=seed,
+        cell = self._compiler.compile(
+            circuit, design,
             segment_length=segment_length,
             adaptive_policy=adaptive_policy,
-            collect_trace=collect_trace,
         )
-        result = executor.run(program)
+        executor = cell.executor(seed=seed, collect_trace=collect_trace)
+        result = executor.run(cell.program, benchmark_name=cell.benchmark)
         self.last_executor = executor
         return result
 

@@ -5,16 +5,24 @@ Fig. 5 / 6 (all designs on the 32-qubit benchmarks), Fig. 7 (communication /
 buffer qubit sweep), and Fig. 8 (64-qubit benchmarks).  Results are averaged
 over repetitions and returned as :class:`~repro.core.results.BenchmarkComparison`
 objects that the report module renders as text tables.
+
+The runner is a thin wrapper over the staged
+:class:`~repro.engine.pipeline.ExperimentEngine`: each (benchmark, design)
+cell is compiled exactly once and the seed × cell grid is replayed through a
+pluggable execution backend (``"serial"`` by default; ``"process"`` fans the
+grid out across cores with identical results).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.codesign import DQCSimulator
 from repro.core.config import ExperimentConfig, SystemConfig
-from repro.core.results import BenchmarkComparison, DesignSummary
+from repro.core.results import BenchmarkComparison
+from repro.engine.backends import BackendLike, get_backend
+from repro.engine.cache import ArtifactCache
+from repro.engine.pipeline import ExperimentEngine
 from repro.runtime.metrics import ExecutionResult
 from repro.exceptions import ConfigurationError
 
@@ -22,38 +30,51 @@ __all__ = ["ExperimentRunner", "run_design_comparison", "run_comm_qubit_sweep"]
 
 
 class ExperimentRunner:
-    """Runs one :class:`ExperimentConfig` and aggregates the results."""
+    """Runs one :class:`ExperimentConfig` and aggregates the results.
 
-    def __init__(self, config: ExperimentConfig) -> None:
+    Parameters
+    ----------
+    config:
+        The experiment grid.
+    backend:
+        Execute-stage strategy (backend instance, registered name, or
+        ``None`` for serial).
+    cache:
+        Optional shared :class:`ArtifactCache` so several runners (e.g. the
+        steps of a sweep) reuse each other's compile artifacts.
+    """
+
+    def __init__(self, config: ExperimentConfig,
+                 backend: BackendLike = None,
+                 cache: Optional[ArtifactCache] = None) -> None:
         self.config = config
-        self.simulator = DQCSimulator(
-            system=config.system, partition_seed=config.partition_seed
-        )
+        self.engine = ExperimentEngine(config, backend=backend, cache=cache)
+        # Shares the engine's compiler, so ad-hoc simulate() calls and the
+        # grid run draw from the same artifact cache.
+        self.simulator = DQCSimulator(compiler=self.engine.compiler)
 
     # ------------------------------------------------------------------
     def run_cell(self, benchmark: str, design: str) -> List[ExecutionResult]:
         """All repetitions of one (benchmark, design) cell."""
-        results = []
-        for seed in self.config.seeds():
-            results.append(
-                self.simulator.simulate(benchmark, design=design, seed=seed)
-            )
-        return results
+        return self.engine.run_cell(benchmark, design)
 
     def run_benchmark(self, benchmark: str) -> BenchmarkComparison:
         """All designs on one benchmark."""
-        comparison = BenchmarkComparison(benchmark=benchmark)
-        for design in self.config.designs:
-            results = self.run_cell(benchmark, design)
-            comparison.add(DesignSummary.from_results(results))
-        return comparison
+        return self.engine.run_benchmark(benchmark)
 
     def run(self) -> Dict[str, BenchmarkComparison]:
         """The full experiment, keyed by benchmark name."""
-        return {
-            benchmark: self.run_benchmark(benchmark)
-            for benchmark in self.config.benchmarks
-        }
+        return self.engine.run()
+
+    def close(self) -> None:
+        """Release the engine's backend resources (worker processes)."""
+        self.engine.close()
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def run_design_comparison(
@@ -62,6 +83,8 @@ def run_design_comparison(
     num_runs: int = 5,
     system: Optional[SystemConfig] = None,
     base_seed: int = 1,
+    backend: BackendLike = None,
+    cache: Optional[ArtifactCache] = None,
 ) -> Dict[str, BenchmarkComparison]:
     """Convenience wrapper reproducing one Fig. 5 / Fig. 6 / Fig. 8 sweep.
 
@@ -79,6 +102,10 @@ def run_design_comparison(
         Hardware configuration (defaults to the paper's 32-qubit system).
     base_seed:
         Seed of the first repetition.
+    backend:
+        Execution backend (instance, name, or ``None`` for serial).
+    cache:
+        Optional shared compile-artifact cache.
     """
     from repro.runtime.designs import list_designs
 
@@ -89,7 +116,15 @@ def run_design_comparison(
         base_seed=base_seed,
         system=system or SystemConfig(),
     )
-    return ExperimentRunner(config).run()
+    resolved = get_backend(backend)
+    try:
+        return ExperimentRunner(config, backend=resolved, cache=cache).run()
+    finally:
+        if resolved is not backend:
+            # The backend was created here (from a name or None), so its
+            # worker processes are released here; caller-provided instances
+            # stay open for reuse.
+            resolved.close()
 
 
 def run_comm_qubit_sweep(
@@ -99,22 +134,36 @@ def run_comm_qubit_sweep(
     num_runs: int = 5,
     base_system: Optional[SystemConfig] = None,
     base_seed: int = 1,
+    backend: BackendLike = None,
+    cache: Optional[ArtifactCache] = None,
 ) -> Dict[int, BenchmarkComparison]:
     """Fig. 7 sweep: vary the number of communication / buffer qubits.
 
     For every entry ``n`` of ``comm_buffer_counts`` the system is configured
     with ``n`` communication and ``n`` buffer qubits per node and the chosen
     designs are evaluated on ``benchmark``.
+
+    All sweep steps share one compile-artifact cache and one execution
+    backend: the partitioned program of ``benchmark`` is compiled once for
+    the whole sweep (partitioning does not depend on communication-qubit
+    counts), while the schedule lookup tables — whose segment length does —
+    are recompiled per step.
     """
     if not comm_buffer_counts:
         raise ConfigurationError("sweep needs at least one qubit count")
     base_system = base_system or SystemConfig()
+    cache = cache if cache is not None else ArtifactCache()
+    resolved = get_backend(backend)
     sweep_results: Dict[int, BenchmarkComparison] = {}
-    for count in comm_buffer_counts:
-        system = base_system.with_comm_and_buffer(count, count)
-        comparisons = run_design_comparison(
-            [benchmark], designs=designs, num_runs=num_runs, system=system,
-            base_seed=base_seed,
-        )
-        sweep_results[count] = comparisons[benchmark]
+    try:
+        for count in comm_buffer_counts:
+            system = base_system.with_comm_and_buffer(count, count)
+            comparisons = run_design_comparison(
+                [benchmark], designs=designs, num_runs=num_runs, system=system,
+                base_seed=base_seed, backend=resolved, cache=cache,
+            )
+            sweep_results[count] = comparisons[benchmark]
+    finally:
+        if resolved is not backend:
+            resolved.close()
     return sweep_results

@@ -1,0 +1,43 @@
+"""Compile-once / execute-many experiment engine.
+
+The engine splits the simulation pipeline into two explicit stages:
+
+* **compile** (:mod:`repro.engine.compiler`) — deterministic per
+  (benchmark, design) cell: build the circuit, partition it, resolve the
+  design, pre-build the schedule lookup table; cached by configuration
+  fingerprint (:mod:`repro.engine.cache`).
+* **execute** (:mod:`repro.engine.backends`) — stochastic per seed: replay
+  a compiled cell through a pluggable :class:`ExecutionBackend`, serially
+  or across a process pool.
+
+:class:`~repro.engine.pipeline.ExperimentEngine` ties the stages together
+for full benchmarks × designs × seeds grids.
+"""
+
+from repro.engine.backends import (
+    ExecutionBackend,
+    ExecutionTask,
+    ProcessPoolBackend,
+    SerialBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.engine.cache import ArtifactCache, fingerprint
+from repro.engine.compiler import CellCompiler, CompiledCell
+from repro.engine.pipeline import ExperimentEngine
+
+__all__ = [
+    "ArtifactCache",
+    "fingerprint",
+    "CellCompiler",
+    "CompiledCell",
+    "ExecutionTask",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "get_backend",
+    "register_backend",
+    "list_backends",
+    "ExperimentEngine",
+]

@@ -1,0 +1,184 @@
+"""Execute stage: pluggable backends replaying compiled cells under seeds.
+
+Following the ``Distributor`` idiom of pytket-dqc, every backend implements
+one abstract operation — :meth:`ExecutionBackend.execute` — that maps an
+ordered sequence of :class:`ExecutionTask` (one ``(CompiledCell, seed)``
+pair each) to the matching ordered list of
+:class:`~repro.runtime.metrics.ExecutionResult`.  Because a compiled cell is
+replayed with a fresh, seed-deterministic entanglement process, every
+backend must produce *identical* results for identical task lists; the
+backends differ only in wall-clock strategy:
+
+* :class:`SerialBackend` — runs tasks in order on the calling thread,
+* :class:`ProcessPoolBackend` — fans tasks out over a process pool,
+  preserving input order.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.engine.compiler import CompiledCell
+from repro.exceptions import ConfigurationError
+from repro.runtime.metrics import ExecutionResult
+
+__all__ = [
+    "ExecutionTask",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "get_backend",
+    "register_backend",
+    "list_backends",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class ExecutionTask:
+    """One unit of execute-stage work: replay ``cell`` under ``seed``."""
+
+    cell: CompiledCell
+    seed: int
+
+    def run(self) -> ExecutionResult:
+        """Execute the task in the current process."""
+        return self.cell.execute(seed=self.seed)
+
+
+def _run_task(task: ExecutionTask) -> ExecutionResult:
+    """Module-level task runner so process pools can pickle it."""
+    return task.run()
+
+
+class ExecutionBackend(ABC):
+    """Strategy for running a batch of execution tasks.
+
+    Subclasses must preserve task order and produce results identical to
+    :class:`SerialBackend` for the same tasks (execution is deterministic
+    per seed).  Backends are reusable across :meth:`execute` calls and
+    usable as context managers; :meth:`close` releases any worker state.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def execute(self, tasks: Sequence[ExecutionTask]) -> List[ExecutionResult]:
+        """Run every task and return results in task order."""
+
+    def close(self) -> None:
+        """Release backend resources (no-op by default)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task in order on the calling thread (the reference)."""
+
+    name = "serial"
+
+    def execute(self, tasks: Sequence[ExecutionTask]) -> List[ExecutionResult]:
+        return [task.run() for task in tasks]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan tasks out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count (defaults to the CPU count).
+    chunksize:
+        Tasks shipped per worker round-trip; by default one contiguous slice
+        per worker, which keeps per-cell tasks on few processes and bounds
+        pickling overhead.
+
+    The pool is created lazily on the first :meth:`execute` call and reused
+    until :meth:`close`, so sweeps pay the worker start-up cost once.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 chunksize: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("process backend needs at least one worker")
+        if chunksize is not None and chunksize < 1:
+            raise ConfigurationError("chunksize must be positive")
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    def _workers(self) -> int:
+        return self.max_workers or os.cpu_count() or 1
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._workers())
+        return self._pool
+
+    def execute(self, tasks: Sequence[ExecutionTask]) -> List[ExecutionResult]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        pool = self._ensure_pool()
+        chunksize = self.chunksize or max(1, len(tasks) // self._workers())
+        return list(pool.map(_run_task, tasks, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# ----------------------------------------------------------------------
+# backend registry
+# ----------------------------------------------------------------------
+BackendLike = Union[None, str, ExecutionBackend]
+
+_BACKENDS: Dict[str, Callable[[], ExecutionBackend]] = {
+    "serial": SerialBackend,
+    "process": ProcessPoolBackend,
+    "processpool": ProcessPoolBackend,
+}
+
+
+def register_backend(name: str,
+                     factory: Callable[[], ExecutionBackend]) -> None:
+    """Register a custom backend factory under ``name``."""
+    _BACKENDS[name.lower()] = factory
+
+
+def list_backends() -> List[str]:
+    """Registered backend names."""
+    return sorted(_BACKENDS)
+
+
+def get_backend(backend: BackendLike = None) -> ExecutionBackend:
+    """Resolve a backend argument: instance, registered name, or ``None``.
+
+    ``None`` resolves to a fresh :class:`SerialBackend`.
+    """
+    if backend is None:
+        return SerialBackend()
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if isinstance(backend, str):
+        factory = _BACKENDS.get(backend.lower())
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown execution backend {backend!r}; "
+                f"available: {', '.join(list_backends())}"
+            )
+        return factory()
+    raise ConfigurationError(
+        f"cannot interpret {type(backend).__name__} as an execution backend"
+    )

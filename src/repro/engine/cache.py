@@ -1,0 +1,121 @@
+"""Compile-artifact cache keyed by configuration fingerprints.
+
+The compile stage of the engine is deterministic: the same (system,
+partitioning, benchmark, design, scheduling parameters) always produces the
+same :class:`~repro.engine.compiler.CompiledCell`.  The cache therefore keys
+artifacts by a SHA-256 fingerprint of the *configuration that produced them*
+rather than by object identity, so sweeps such as
+:func:`~repro.core.experiment.run_comm_qubit_sweep` can share one cache
+across system variations and only recompile what actually changed (the
+partitioned program survives a communication-qubit change; the schedule
+lookup table does not).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["ArtifactCache", "fingerprint"]
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to a deterministic, repr-stable structure."""
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, value.name)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = tuple(
+            (f.name, _canonical(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+        return (type(value).__name__, fields)
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _canonical(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(item) for item in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"cannot fingerprint {type(value).__name__}; pass primitives, "
+        f"dataclasses, enums, or containers of them"
+    )
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 fingerprint of a canonicalised tuple of configuration parts."""
+    canonical = repr(tuple(_canonical(part) for part in parts))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """In-memory store of compile artifacts with hit / miss accounting.
+
+    Entries are namespaced (``"program"``, ``"cell"``, ...) so one cache can
+    hold every artifact kind of the compile stage.  The cache is unbounded by
+    default; pass ``max_entries`` to evict the oldest entries FIFO, which is
+    enough for sweep workloads where old configurations never return.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: Dict[Tuple[str, str], Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def get(self, namespace: str, key: str) -> Optional[Any]:
+        """Look up an artifact, counting the hit or miss."""
+        entry = self._entries.get((namespace, key))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, namespace: str, key: str, artifact: Any) -> Any:
+        """Store an artifact and return it (for call-site chaining)."""
+        if (self.max_entries is not None
+                and (namespace, key) not in self._entries
+                and len(self._entries) >= self.max_entries):
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[(namespace, key)] = artifact
+        return artifact
+
+    def count(self, namespace: Optional[str] = None) -> int:
+        """Number of stored artifacts, optionally within one namespace."""
+        if namespace is None:
+            return len(self._entries)
+        return sum(1 for space, _ in self._entries if space == namespace)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Flat statistics summary (used by benchmarks and reports)."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._entries

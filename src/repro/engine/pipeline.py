@@ -1,0 +1,138 @@
+"""Staged experiment pipeline: compile once, execute many.
+
+:class:`ExperimentEngine` is the orchestrator behind
+:class:`~repro.core.experiment.ExperimentRunner`: it compiles every
+(benchmark, design) cell of an :class:`~repro.core.config.ExperimentConfig`
+exactly once (stage 1), expands the cells into the seed × cell task grid,
+hands the grid to an :class:`~repro.engine.backends.ExecutionBackend`
+(stage 2), and aggregates the per-seed results back into the
+:class:`~repro.core.results.BenchmarkComparison` shape the analysis layer
+consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import ExperimentConfig
+from repro.core.results import BenchmarkComparison, DesignSummary
+from repro.engine.backends import BackendLike, ExecutionTask, get_backend
+from repro.engine.cache import ArtifactCache
+from repro.engine.compiler import CellCompiler, CompiledCell
+from repro.runtime.metrics import ExecutionResult
+
+__all__ = ["ExperimentEngine"]
+
+
+class ExperimentEngine:
+    """Compile-once / execute-many driver for one experiment grid.
+
+    Parameters
+    ----------
+    config:
+        The experiment (benchmarks × designs × repetitions on one system).
+    backend:
+        Execute-stage strategy: an :class:`ExecutionBackend` instance, a
+        registered name (``"serial"``, ``"process"``), or ``None`` for
+        serial execution.
+    compiler:
+        Optional pre-configured compile stage; pass one to share compiled
+        artifacts across engines (e.g. between sweep steps).
+    cache:
+        Artifact cache used when the engine builds its own compiler.
+    """
+
+    def __init__(self, config: ExperimentConfig,
+                 backend: BackendLike = None,
+                 compiler: Optional[CellCompiler] = None,
+                 cache: Optional[ArtifactCache] = None) -> None:
+        self.config = config
+        self.compiler = compiler or CellCompiler(
+            system=config.system,
+            partition_seed=config.partition_seed,
+            cache=cache,
+        )
+        self.backend = get_backend(backend)
+
+    # ------------------------------------------------------------------
+    # stage 1: compile
+    # ------------------------------------------------------------------
+    def compile_cell(self, benchmark: str, design: str) -> CompiledCell:
+        """Compile (or fetch from cache) one cell of the grid."""
+        return self.compiler.compile(benchmark, design)
+
+    def compile_grid(self) -> List[CompiledCell]:
+        """Compile every cell of the benchmarks × designs grid, in order."""
+        return [
+            self.compile_cell(benchmark, design)
+            for benchmark in self.config.benchmarks
+            for design in self.config.designs
+        ]
+
+    # ------------------------------------------------------------------
+    # stage 2: execute
+    # ------------------------------------------------------------------
+    def execute_cells(
+        self, cells: Sequence[CompiledCell],
+        seeds: Optional[Sequence[int]] = None,
+    ) -> List[List[ExecutionResult]]:
+        """Replay every cell under every seed through the backend.
+
+        Returns one result list per cell, in cell order, each in seed order
+        — regardless of how the backend parallelised the flat task grid.
+        """
+        seeds = list(seeds) if seeds is not None else self.config.seeds()
+        tasks = [
+            ExecutionTask(cell, seed) for cell in cells for seed in seeds
+        ]
+        results = self.backend.execute(tasks)
+        per_cell = len(seeds)
+        return [
+            results[index * per_cell:(index + 1) * per_cell]
+            for index in range(len(cells))
+        ]
+
+    def run_cell(self, benchmark: str, design: str) -> List[ExecutionResult]:
+        """All repetitions of one (benchmark, design) cell."""
+        cell = self.compile_cell(benchmark, design)
+        return self.execute_cells([cell])[0]
+
+    def run_benchmark(self, benchmark: str) -> BenchmarkComparison:
+        """All designs on one benchmark."""
+        cells = [
+            self.compile_cell(benchmark, design)
+            for design in self.config.designs
+        ]
+        comparison = BenchmarkComparison(benchmark=benchmark)
+        for results in self.execute_cells(cells):
+            comparison.add(DesignSummary.from_results(results))
+        return comparison
+
+    def run(self) -> Dict[str, BenchmarkComparison]:
+        """The full experiment, keyed by benchmark name.
+
+        The whole seed × cell grid is submitted to the backend as one flat
+        batch so a parallel backend can balance across every cell at once.
+        """
+        cells = self.compile_grid()
+        cell_results = self.execute_cells(cells)
+        comparisons: Dict[str, BenchmarkComparison] = {}
+        index = 0
+        for benchmark in self.config.benchmarks:
+            comparison = BenchmarkComparison(benchmark=benchmark)
+            for _design in self.config.designs:
+                comparison.add(DesignSummary.from_results(cell_results[index]))
+                index += 1
+            comparisons[benchmark] = comparison
+        return comparisons
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the backend's worker state (if any)."""
+        self.backend.close()
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -50,6 +50,11 @@ class DesignExecutor:
         the paper's ``#comm-pairs * psucc``.
     adaptive_policy:
         Thresholds of the adaptive lookup rule.
+    lookup:
+        Optional pre-built :class:`ScheduleLookupTable` (the compile-once
+        artifact of :mod:`repro.engine`); when given, adaptive runs replay
+        it instead of re-segmenting the circuit, and its decision log is
+        reset at the start of every run.
     collect_trace:
         Whether to record a full per-gate execution trace.
     """
@@ -62,6 +67,7 @@ class DesignExecutor:
         fidelity_model: Optional[FidelityModel] = None,
         segment_length: Optional[int] = None,
         adaptive_policy: Optional[AdaptivePolicy] = None,
+        lookup: Optional[ScheduleLookupTable] = None,
         collect_trace: bool = False,
     ) -> None:
         self.architecture = architecture
@@ -75,6 +81,7 @@ class DesignExecutor:
         )
         self.segment_length = segment_length
         self.adaptive_policy = adaptive_policy or AdaptivePolicy()
+        self.lookup = lookup
         self.collect_trace = collect_trace
         self.last_trace: Optional[ExecutionTrace] = None
 
@@ -154,7 +161,8 @@ class DesignExecutor:
         lookup: Optional[ScheduleLookupTable] = None
 
         if self.design.adaptive_scheduling:
-            lookup = self._build_lookup(program)
+            lookup = self.lookup if self.lookup is not None else self.build_lookup(program)
+            lookup.reset_decisions()
             gate_batches = self._adaptive_batches(program, lookup, directory, tracker)
         else:
             gate_batches = iter([list(program.circuit.gates)])
@@ -249,7 +257,13 @@ class DesignExecutor:
     # ------------------------------------------------------------------
     # adaptive scheduling
     # ------------------------------------------------------------------
-    def _build_lookup(self, program: DistributedProgram) -> ScheduleLookupTable:
+    def build_lookup(self, program: DistributedProgram) -> ScheduleLookupTable:
+        """Segment ``program`` and pre-compile its schedule lookup table.
+
+        The result is deterministic per (program, segment length, policy),
+        which is why the engine's compile stage builds it once per cell and
+        replays it across seeds via the ``lookup`` constructor argument.
+        """
         if self.segment_length is not None:
             length = self.segment_length
         else:

@@ -1,0 +1,415 @@
+"""Tests for the compile-once / execute-many engine."""
+
+import pytest
+
+import repro.runtime.executor as executor_module
+from repro.benchmarks import tlim_circuit
+from repro.core import DQCSimulator, ExperimentConfig, ExperimentRunner, SystemConfig
+from repro.engine import (
+    ArtifactCache,
+    CellCompiler,
+    ExecutionBackend,
+    ExperimentEngine,
+    ProcessPoolBackend,
+    SerialBackend,
+    fingerprint,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.engine.backends import ExecutionTask
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def tlim_system() -> SystemConfig:
+    return SystemConfig(data_qubits_per_node=16, comm_qubits_per_node=4,
+                        buffer_qubits_per_node=4)
+
+
+@pytest.fixture
+def small_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        benchmarks=("TLIM-32",),
+        designs=("original", "adapt_buf"),
+        num_runs=3,
+        base_seed=5,
+        system=SystemConfig(data_qubits_per_node=16, comm_qubits_per_node=4,
+                            buffer_qubits_per_node=4),
+    )
+
+
+class CountingBackend(ExecutionBackend):
+    """Serial backend that records how many tasks it was handed."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.task_log = []
+
+    def execute(self, tasks):
+        tasks = list(tasks)
+        self.task_log.append(len(tasks))
+        return [task.run() for task in tasks]
+
+
+# ----------------------------------------------------------------------
+# artifact cache
+# ----------------------------------------------------------------------
+class TestArtifactCache:
+    def test_hit_miss_accounting(self):
+        cache = ArtifactCache()
+        assert cache.get("cell", "k") is None
+        cache.put("cell", "k", "artifact")
+        assert cache.get("cell", "k") == "artifact"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+        assert cache.stats()["entries"] == 1
+
+    def test_namespaces_are_disjoint(self):
+        cache = ArtifactCache()
+        cache.put("program", "k", "p")
+        cache.put("cell", "k", "c")
+        assert cache.get("program", "k") == "p"
+        assert cache.get("cell", "k") == "c"
+        assert cache.count("program") == 1
+        assert cache.count() == 2
+
+    def test_fifo_eviction(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.put("cell", "a", 1)
+        cache.put("cell", "b", 2)
+        cache.put("cell", "c", 3)
+        assert len(cache) == 2
+        assert cache.get("cell", "a") is None
+        assert cache.get("cell", "c") == 3
+
+    def test_overwrite_at_capacity_does_not_evict_others(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.put("cell", "a", 1)
+        cache.put("cell", "b", 2)
+        cache.put("cell", "b", 22)  # overwrite must not evict "a"
+        assert cache.get("cell", "a") == 1
+        assert cache.get("cell", "b") == 22
+
+    def test_clear_resets_stats(self):
+        cache = ArtifactCache()
+        cache.put("cell", "a", 1)
+        cache.get("cell", "a")
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_entries=0)
+
+    def test_fingerprint_sensitivity(self):
+        base = SystemConfig()
+        same = SystemConfig()
+        tweaked = base.with_comm_and_buffer(5, 5)
+        assert fingerprint(base) == fingerprint(same)
+        assert fingerprint(base) != fingerprint(tweaked)
+
+    def test_fingerprint_rejects_opaque_objects(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+
+# ----------------------------------------------------------------------
+# compile stage
+# ----------------------------------------------------------------------
+class TestCellCompiler:
+    def test_cell_cached_by_configuration(self, tlim_system):
+        compiler = CellCompiler(system=tlim_system)
+        first = compiler.compile("TLIM-32", "adapt_buf")
+        second = compiler.compile("TLIM-32", "adapt_buf")
+        assert first is second
+        assert compiler.cache.hits >= 1
+
+    def test_distinct_parameters_compile_distinct_cells(self, tlim_system):
+        compiler = CellCompiler(system=tlim_system)
+        base = compiler.compile("TLIM-32", "adapt_buf")
+        other_design = compiler.compile("TLIM-32", "original")
+        other_length = compiler.compile("TLIM-32", "adapt_buf", segment_length=2)
+        assert base is not other_design
+        assert base is not other_length
+        assert other_length.lookup is not base.lookup
+
+    def test_adaptive_cell_carries_lookup(self, tlim_system):
+        compiler = CellCompiler(system=tlim_system)
+        adaptive = compiler.compile("TLIM-32", "adapt_buf")
+        plain = compiler.compile("TLIM-32", "sync_buf")
+        assert adaptive.lookup is not None
+        assert plain.lookup is None
+
+    def test_program_shared_across_designs(self, tlim_system):
+        compiler = CellCompiler(system=tlim_system)
+        a = compiler.compile("TLIM-32", "adapt_buf")
+        b = compiler.compile("TLIM-32", "original")
+        assert a.program is b.program
+
+    def test_program_reused_across_comm_sweep_steps(self):
+        cache = ArtifactCache()
+        few = CellCompiler(
+            system=SystemConfig(data_qubits_per_node=16, comm_qubits_per_node=4,
+                                buffer_qubits_per_node=4),
+            cache=cache,
+        )
+        many = CellCompiler(
+            system=SystemConfig(data_qubits_per_node=16, comm_qubits_per_node=8,
+                                buffer_qubits_per_node=8),
+            cache=cache,
+        )
+        cell_few = few.compile("TLIM-32", "adapt_buf")
+        cell_many = many.compile("TLIM-32", "adapt_buf")
+        # The partitioned program survives the sweep step ...
+        assert cell_few.program is cell_many.program
+        assert cache.count("program") == 1
+        # ... but the schedule lookup (segment length depends on the
+        # communication-qubit count) is recompiled.
+        assert cell_few.lookup is not cell_many.lookup
+        assert cache.count("cell") == 2
+
+    def test_anonymous_circuit_compiled_once(self, small_system):
+        compiler = CellCompiler(system=small_system)
+        circuit = tlim_circuit(12, num_steps=1)
+        first = compiler.compile(circuit, "adapt_buf")
+        second = compiler.compile(circuit, "adapt_buf")
+        assert first is second
+
+    def test_mutated_circuit_is_recompiled(self, small_system):
+        # Regression: programs are keyed by gate content, so mutating a
+        # circuit between calls must not replay the stale partition.
+        compiler = CellCompiler(system=small_system)
+        circuit = tlim_circuit(12, num_steps=1)
+        before = compiler.compile(circuit, "original")
+        circuit.cx(0, 1)
+        after = compiler.compile(circuit, "original")
+        assert after is not before
+        assert after.program is not before.program
+        assert after.program.circuit.num_gates == before.program.circuit.num_gates + 1
+
+    def test_equal_circuits_share_a_program(self, small_system):
+        compiler = CellCompiler(system=small_system)
+        a = compiler.compile(tlim_circuit(12, num_steps=1), "original")
+        b = compiler.compile(tlim_circuit(12, num_steps=1), "original")
+        assert a is b
+
+    def test_capacity_still_enforced(self, small_system):
+        compiler = CellCompiler(system=small_system)
+        with pytest.raises(ConfigurationError):
+            compiler.resolve_program(tlim_circuit(40, num_steps=1))
+
+    def test_invalid_circuit_type_rejected(self, small_system):
+        compiler = CellCompiler(system=small_system)
+        with pytest.raises(ConfigurationError):
+            compiler.resolve_program(42)
+
+
+class TestCompileOnce:
+    def test_lookup_built_once_per_cell_regardless_of_num_runs(
+            self, small_config, monkeypatch):
+        calls = []
+        original = executor_module.build_lookup_table
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(executor_module, "build_lookup_table", counting)
+        engine = ExperimentEngine(small_config)
+        results = engine.run_cell("TLIM-32", "adapt_buf")
+        assert len(results) == small_config.num_runs
+        assert len(calls) == 1
+
+    def test_simulator_reuses_lookup_across_seeds(self, monkeypatch):
+        calls = []
+        original = executor_module.build_lookup_table
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(executor_module, "build_lookup_table", counting)
+        simulator = DQCSimulator(
+            SystemConfig(data_qubits_per_node=16, comm_qubits_per_node=4,
+                         buffer_qubits_per_node=4)
+        )
+        for seed in (1, 2, 3):
+            simulator.simulate("TLIM-32", design="adapt_buf", seed=seed)
+        assert len(calls) == 1
+
+    def test_variant_histogram_is_per_run(self, small_config):
+        engine = ExperimentEngine(small_config)
+        results = engine.run_cell("TLIM-32", "adapt_buf")
+        totals = [sum(r.variant_histogram.values()) for r in results]
+        # Each run logs one decision per segment; a shared lookup must not
+        # leak decisions from earlier seeds into later histograms.
+        assert len(set(totals)) == 1 and totals[0] >= 1
+
+
+# ----------------------------------------------------------------------
+# execute stage
+# ----------------------------------------------------------------------
+class TestBackends:
+    def test_get_backend_resolution(self):
+        assert isinstance(get_backend(None), SerialBackend)
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("process"), ProcessPoolBackend)
+        instance = SerialBackend()
+        assert get_backend(instance) is instance
+
+    def test_get_backend_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("quantum-cloud")
+        with pytest.raises(ConfigurationError):
+            get_backend(3.14)
+
+    def test_register_backend(self):
+        register_backend("counting-test", CountingBackend)
+        assert "counting-test" in list_backends()
+        assert isinstance(get_backend("counting-test"), CountingBackend)
+
+    def test_process_backend_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(max_workers=0)
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(chunksize=0)
+
+    def test_empty_task_list(self):
+        assert SerialBackend().execute([]) == []
+        with ProcessPoolBackend(max_workers=1) as backend:
+            assert backend.execute([]) == []
+
+    def test_serial_and_process_backends_are_deterministic(self, small_config):
+        serial_engine = ExperimentEngine(small_config, backend="serial")
+        serial_results = serial_engine.execute_cells(serial_engine.compile_grid())
+        with ProcessPoolBackend(max_workers=2) as backend:
+            process_engine = ExperimentEngine(small_config, backend=backend)
+            process_results = process_engine.execute_cells(
+                process_engine.compile_grid()
+            )
+        assert len(serial_results) == len(process_results)
+        for serial_cell, process_cell in zip(serial_results, process_results):
+            for serial_run, process_run in zip(serial_cell, process_cell):
+                assert serial_run.seed == process_run.seed
+                assert serial_run.makespan == process_run.makespan
+                assert serial_run.fidelity == process_run.fidelity
+                assert (serial_run.variant_histogram
+                        == process_run.variant_histogram)
+
+
+# ----------------------------------------------------------------------
+# pipeline
+# ----------------------------------------------------------------------
+class TestExperimentEngine:
+    def test_run_submits_whole_grid_as_one_batch(self, small_config):
+        backend = CountingBackend()
+        engine = ExperimentEngine(small_config, backend=backend)
+        comparisons = engine.run()
+        cells = len(small_config.benchmarks) * len(small_config.designs)
+        assert backend.task_log == [cells * small_config.num_runs]
+        assert set(comparisons) == set(small_config.benchmarks)
+
+    def test_results_grouped_in_seed_order(self, small_config):
+        engine = ExperimentEngine(small_config)
+        cells = engine.compile_grid()
+        grouped = engine.execute_cells(cells)
+        assert len(grouped) == len(cells)
+        for cell, results in zip(cells, grouped):
+            assert [r.seed for r in results] == small_config.seeds()
+            assert all(r.design == cell.design.name for r in results)
+
+    def test_run_matches_run_cell(self, small_config):
+        comparisons = ExperimentEngine(small_config).run()
+        engine = ExperimentEngine(small_config)
+        for design in small_config.designs:
+            cell_results = engine.run_cell("TLIM-32", design)
+            summary = comparisons["TLIM-32"].design(design)
+            assert summary.depth.mean == pytest.approx(
+                sum(r.makespan for r in cell_results) / len(cell_results)
+            )
+
+    def test_engine_matches_legacy_per_seed_simulation(self, small_config):
+        engine = ExperimentEngine(small_config)
+        engine_results = engine.run_cell("TLIM-32", "adapt_buf")
+        simulator = DQCSimulator(system=small_config.system)
+        for result in engine_results:
+            legacy = simulator.simulate("TLIM-32", design="adapt_buf",
+                                        seed=result.seed)
+            assert legacy.makespan == result.makespan
+            assert legacy.fidelity == result.fidelity
+
+    def test_engine_context_manager_closes_backend(self, small_config):
+        with ExperimentEngine(small_config,
+                              backend=ProcessPoolBackend(max_workers=1)) as engine:
+            results = engine.run_cell("TLIM-32", "original")
+            assert len(results) == small_config.num_runs
+        assert engine.backend._pool is None
+
+
+class TestExperimentRunnerIntegration:
+    def test_runner_uses_engine_and_shares_compiler(self, small_config):
+        runner = ExperimentRunner(small_config)
+        assert runner.simulator.compiler is runner.engine.compiler
+        comparison = runner.run_benchmark("TLIM-32")
+        assert comparison.design("adapt_buf").num_runs == small_config.num_runs
+        # An ad-hoc simulate() after the grid run hits the grid's artifacts.
+        hits_before = runner.engine.compiler.cache.hits
+        runner.simulator.simulate("TLIM-32", design="adapt_buf", seed=99)
+        assert runner.engine.compiler.cache.hits > hits_before
+
+    def test_runner_accepts_backend_name(self, small_config):
+        runner = ExperimentRunner(small_config, backend="serial")
+        results = runner.run_cell("TLIM-32", "original")
+        assert [r.seed for r in results] == small_config.seeds()
+
+    def test_helper_closes_backends_it_created(self, small_config):
+        from repro.core import run_design_comparison
+
+        class RecordingBackend(CountingBackend):
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        created = []
+
+        def factory():
+            backend = RecordingBackend()
+            created.append(backend)
+            return backend
+
+        register_backend("recording-test", factory)
+        run_design_comparison(["TLIM-32"], designs=["ideal"], num_runs=1,
+                              system=small_config.system,
+                              backend="recording-test")
+        assert created and created[0].closed  # name -> helper owns and closes
+
+        provided = RecordingBackend()
+        run_design_comparison(["TLIM-32"], designs=["ideal"], num_runs=1,
+                              system=small_config.system, backend=provided)
+        assert not provided.closed  # caller-provided instance stays open
+
+
+class TestSimulatorSatellites:
+    def test_last_executor_none_before_simulate(self, small_system):
+        simulator = DQCSimulator(system=small_system)
+        assert simulator.last_executor is None
+
+    def test_ideal_reference_before_simulate(self, small_system):
+        # Regression: ideal_reference() used to rely on simulate() having
+        # set last_executor; it must work on a fresh simulator.
+        simulator = DQCSimulator(system=small_system)
+        result = simulator.ideal_reference(tlim_circuit(12, num_steps=1))
+        assert result.design == "ideal"
+        assert simulator.last_executor is not None
+
+    def test_task_run_matches_cell_execute(self, tlim_system):
+        compiler = CellCompiler(system=tlim_system)
+        cell = compiler.compile("TLIM-32", "original")
+        task = ExecutionTask(cell, seed=7)
+        direct = cell.execute(seed=7)
+        via_task = task.run()
+        assert via_task.makespan == direct.makespan
+        assert via_task.fidelity == direct.fidelity
