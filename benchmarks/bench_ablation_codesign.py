@@ -1,126 +1,114 @@
-"""Ablation benchmarks for the co-design knobs.
+"""Ablation benchmarks for the co-design knobs, as declarative studies.
 
 The paper's design space has several tunables that the evaluation fixes:
 the number of asynchronous sub-groups, the adaptive segment length ``m``,
 the buffer consumption policy, and the buffer storage cutoff.  These
 ablations quantify their effect on QAOA-r8-32 so downstream users can judge
 which choices matter.
+
+Each ablation is one :class:`repro.Study` — the knob is an axis
+(``segment_length`` / ``adaptive_policy``) or a set of
+:class:`~repro.runtime.designs.DesignSpec` overrides on the design axis —
+instead of a hand-rolled loop over :class:`DQCSimulator` calls.
 """
 
 from __future__ import annotations
-
-import statistics
 
 import pytest
 
 from conftest import emit, repetitions
 from repro.analysis import format_table
-from repro.core import DQCSimulator, PAPER_32Q_SYSTEM
-from repro.runtime import DesignExecutor, get_design
+from repro.core import PAPER_32Q_SYSTEM
+from repro.runtime import get_design
 from repro.scheduling import AdaptivePolicy
+from repro.study import Axis, Study
 
 BENCHMARK = "QAOA-r8-32"
 
 
-@pytest.fixture(scope="module")
-def simulator():
-    return DQCSimulator(system=PAPER_32Q_SYSTEM)
+def ablation_study(**kwargs) -> Study:
+    return Study(benchmarks=BENCHMARK, num_runs=repetitions(), base_seed=1,
+                 system=PAPER_32Q_SYSTEM, **kwargs)
 
 
-def mean_depth(simulator, design, seeds, **kwargs):
-    results = [simulator.simulate(BENCHMARK, design=design, seed=s, **kwargs)
-               for s in seeds]
-    return statistics.mean(r.depth for r in results)
-
-
-def test_ablation_async_group_count(benchmark, simulator):
+def test_ablation_async_group_count(benchmark):
     """Effect of the number of asynchronous sub-groups (Fig. 3 design knob)."""
-    seeds = range(1, repetitions() + 1)
-    program = simulator.prepare(BENCHMARK)
+    group_counts = (1, 2, 5, 10)
+    study = ablation_study(designs=[
+        get_design("async_buf").with_overrides(async_groups=groups,
+                                               name=f"async_buf[g={groups}]")
+        for groups in group_counts
+    ])
 
-    def sweep():
-        rows = []
-        for groups in (1, 2, 5, 10):
-            spec = get_design("async_buf").with_overrides(async_groups=groups)
-            executor_depths = []
-            for seed in seeds:
-                executor = DesignExecutor(simulator.architecture, spec, seed=seed)
-                executor_depths.append(executor.run(program).depth)
-            rows.append([groups, f"{statistics.mean(executor_depths):.1f}"])
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(study.run, rounds=1, iterations=1)
+    depth = results.aggregate("depth", by=["design"])
+    rows = [[groups, f"{depth[f'async_buf[g={groups}]'].mean:.1f}"]
+            for groups in group_counts]
     emit("Ablation — asynchronous sub-group count (QAOA-r8-32 depth)",
          format_table(["#sub-groups", "mean depth"], rows))
-    fully_async = float(rows[-1][1])
     fully_sync = float(rows[0][1])
+    fully_async = float(rows[-1][1])
     assert fully_async <= fully_sync * 1.1
 
 
-def test_ablation_segment_length(benchmark, simulator):
+def test_ablation_segment_length(benchmark):
     """Effect of the adaptive segment length m (paper default: #comm * psucc)."""
-    seeds = range(1, repetitions() + 1)
+    study = ablation_study(designs="adapt_buf",
+                           axes={"segment_length": [1, 2, 4, 8, 16]})
 
-    def sweep():
-        rows = []
-        for m in (1, 2, 4, 8, 16):
-            depth = mean_depth(simulator, "adapt_buf", seeds, segment_length=m)
-            rows.append([m, f"{depth:.1f}"])
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(study.run, rounds=1, iterations=1)
+    depth = results.aggregate("depth", by=["segment_length"])
+    rows = [[m, f"{depth[m].mean:.1f}"] for m in (1, 2, 4, 8, 16)]
     emit("Ablation — adaptive segment length m (QAOA-r8-32 depth)",
          format_table(["m", "mean depth"], rows))
     depths = [float(row[1]) for row in rows]
     assert max(depths) / min(depths) < 1.6
 
 
-def test_ablation_adaptive_thresholds(benchmark, simulator):
+def test_ablation_adaptive_thresholds(benchmark):
     """Aggressive vs conservative adaptive thresholds."""
-    seeds = range(1, repetitions() + 1)
+    policies = (
+        ("paper rule (m, 0)", AdaptivePolicy()),
+        ("always ASAP-ish (0, 0)", AdaptivePolicy(asap_threshold=0)),
+        ("conservative (16, 2)", AdaptivePolicy(asap_threshold=16,
+                                                alap_threshold=2)),
+    )
+    study = ablation_study(designs="adapt_buf",
+                           axes=[Axis("adaptive_policy",
+                                      [policy for _, policy in policies])])
 
-    def sweep():
-        rows = []
-        for label, policy in (
-            ("paper rule (m, 0)", AdaptivePolicy()),
-            ("always ASAP-ish (0, 0)", AdaptivePolicy(asap_threshold=0)),
-            ("conservative (16, 2)", AdaptivePolicy(asap_threshold=16,
-                                                    alap_threshold=2)),
-        ):
-            depth = mean_depth(simulator, "adapt_buf", seeds, adaptive_policy=policy)
-            rows.append([label, f"{depth:.1f}"])
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(study.run, rounds=1, iterations=1)
+    # Non-primitive axis coordinates appear in the records as their stable
+    # repr token, so the set stays groupable by policy.
+    depth = results.aggregate("depth", by=["adaptive_policy"])
+    rows = [[label, f"{depth[repr(policy)].mean:.1f}"]
+            for label, policy in policies]
     emit("Ablation — adaptive thresholds (QAOA-r8-32 depth)",
          format_table(["policy", "mean depth"], rows))
     assert len(rows) == 3
 
 
-def test_ablation_buffer_cutoff(benchmark, simulator):
+def test_ablation_buffer_cutoff(benchmark):
     """Effect of a buffer storage cutoff (Sec. III-C cutoff policy)."""
-    seeds = range(1, repetitions() + 1)
-    program = simulator.prepare(BENCHMARK)
+    cutoffs = (None, 20.0, 50.0)
+    study = ablation_study(designs=[
+        get_design("async_buf").with_overrides(
+            buffer_cutoff=cutoff,
+            name=f"async_buf[cutoff={cutoff}]")
+        for cutoff in cutoffs
+    ])
 
-    def sweep():
-        rows = []
-        for cutoff in (None, 20.0, 50.0):
-            spec = get_design("async_buf").with_overrides(buffer_cutoff=cutoff)
-            depths = []
-            fidelities = []
-            for seed in seeds:
-                executor = DesignExecutor(simulator.architecture, spec, seed=seed)
-                result = executor.run(program)
-                depths.append(result.depth)
-                fidelities.append(result.fidelity)
-            rows.append([
-                "none" if cutoff is None else f"{cutoff:.0f}",
-                f"{statistics.mean(depths):.1f}",
-                f"{statistics.mean(fidelities):.3f}",
-            ])
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(study.run, rounds=1, iterations=1)
+    depth = results.aggregate("depth", by=["design"])
+    fidelity = results.aggregate("fidelity", by=["design"])
+    rows = []
+    for cutoff in cutoffs:
+        design = f"async_buf[cutoff={cutoff}]"
+        rows.append([
+            "none" if cutoff is None else f"{cutoff:.0f}",
+            f"{depth[design].mean:.1f}",
+            f"{fidelity[design].mean:.3f}",
+        ])
     emit("Ablation — buffer storage cutoff (QAOA-r8-32)",
          format_table(["cutoff", "mean depth", "mean fidelity"], rows))
     assert len(rows) == 3

@@ -12,17 +12,18 @@ import pytest
 
 from conftest import backend_name, emit, repetitions
 from repro.analysis import comparison_report, relative_depth_report
-from repro.core import PAPER_32Q_SYSTEM, run_design_comparison
+from repro.core import PAPER_32Q_SYSTEM
+from repro.study import Study
 
 BENCHMARKS_32Q = ["TLIM-32", "QAOA-r4-32", "QAOA-r8-32", "QFT-32"]
 
 
 @pytest.fixture(scope="module")
 def fig5_results():
-    return run_design_comparison(
-        BENCHMARKS_32Q, num_runs=repetitions(), system=PAPER_32Q_SYSTEM,
-        base_seed=1, backend=backend_name(),
-    )
+    with Study(benchmarks=BENCHMARKS_32Q, num_runs=repetitions(),
+               system=PAPER_32Q_SYSTEM, base_seed=1,
+               backend=backend_name(), name="fig5-depth-32q") as study:
+        return study.run().to_comparisons()
 
 
 def test_fig5_depth_series(benchmark, fig5_results):

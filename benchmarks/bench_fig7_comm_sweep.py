@@ -12,7 +12,8 @@ import pytest
 
 from conftest import backend_name, emit, repetitions
 from repro.analysis import comparison_report, sweep_report
-from repro.core import PAPER_32Q_SYSTEM, run_comm_qubit_sweep
+from repro.core import PAPER_32Q_SYSTEM
+from repro.study import Axis, Study
 
 DESIGNS = ["sync_buf", "async_buf", "adapt_buf", "init_buf", "ideal"]
 COUNTS = [10, 15, 20]
@@ -20,10 +21,14 @@ COUNTS = [10, 15, 20]
 
 @pytest.fixture(scope="module")
 def fig7_results():
-    return run_comm_qubit_sweep(
-        "QAOA-r8-32", COUNTS, designs=DESIGNS, num_runs=repetitions(),
-        base_system=PAPER_32Q_SYSTEM, base_seed=21, backend=backend_name(),
-    )
+    with Study(
+        benchmarks="QAOA-r8-32", designs=DESIGNS,
+        axes=[Axis(("comm_qubits_per_node", "buffer_qubits_per_node"),
+                   [(count, count) for count in COUNTS])],
+        num_runs=repetitions(), base_seed=21, system=PAPER_32Q_SYSTEM,
+        backend=backend_name(), name="fig7-comm-sweep",
+    ) as study:
+        return study.run().to_comparisons(by="comm_qubits_per_node")
 
 
 def test_fig7_comm_qubit_sweep(benchmark, fig7_results):

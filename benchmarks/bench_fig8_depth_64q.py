@@ -12,17 +12,18 @@ import pytest
 
 from conftest import backend_name, emit, repetitions
 from repro.analysis import comparison_report, relative_depth_report
-from repro.core import PAPER_64Q_SYSTEM, run_design_comparison
+from repro.core import PAPER_64Q_SYSTEM
+from repro.study import Study
 
 BENCHMARKS_64Q = ["QAOA-r4-64", "QAOA-r8-64"]
 
 
 @pytest.fixture(scope="module")
 def fig8_results():
-    return run_design_comparison(
-        BENCHMARKS_64Q, num_runs=repetitions(), system=PAPER_64Q_SYSTEM,
-        base_seed=31, backend=backend_name(),
-    )
+    with Study(benchmarks=BENCHMARKS_64Q, num_runs=repetitions(),
+               system=PAPER_64Q_SYSTEM, base_seed=31,
+               backend=backend_name(), name="fig8-depth-64q") as study:
+        return study.run().to_comparisons()
 
 
 def test_fig8_depth_series(benchmark, fig8_results):

@@ -1,39 +1,61 @@
 """Figure 7 style study: how many communication / buffer qubits are enough?
 
-Sweeps the number of communication and buffer qubits per node for the
-QAOA-r8-32 benchmark and reports the depth of every buffered design, showing
-the paper's finding that ~20 communication qubits per node serve every remote
-gate immediately (near-ideal depth) while fidelity barely moves.
+Sweeps the number of communication and buffer qubits per node (zipped into
+one axis, as in the paper's Fig. 7) for the QAOA-r8-32 benchmark as a single
+declarative :class:`repro.Study` — no hand-written sweep loop — and reports
+the depth of every buffered design, showing the paper's finding that ~20
+communication qubits per node serve every remote gate immediately
+(near-ideal depth) while fidelity barely moves.
+
+The same sweep from the command line:
+
+    python -m repro sweep --benchmark QAOA-r8-32 \\
+        --axis comm_qubits_per_node,buffer_qubits_per_node=5:5,10:10,15:15,20:20
 
 Run with:  python examples/comm_qubit_scaling.py
 """
 
 from __future__ import annotations
 
-from repro.analysis import format_table
-from repro.core import PAPER_32Q_SYSTEM, run_comm_qubit_sweep
+import os
 
+from repro import PAPER_32Q_SYSTEM, Axis, Study
+from repro.analysis import format_table
+
+NUM_RUNS = int(os.environ.get("REPRO_RUNS", 3))
 COUNTS = [5, 10, 15, 20]
 DESIGNS = ["sync_buf", "async_buf", "adapt_buf", "init_buf", "ideal"]
 
 
 def main() -> None:
-    sweep = run_comm_qubit_sweep(
-        "QAOA-r8-32", COUNTS, designs=DESIGNS, num_runs=3,
-        base_system=PAPER_32Q_SYSTEM, base_seed=7,
+    study = Study(
+        benchmarks="QAOA-r8-32",
+        designs=DESIGNS,
+        axes=[Axis(("comm_qubits_per_node", "buffer_qubits_per_node"),
+                   [(count, count) for count in COUNTS])],
+        num_runs=NUM_RUNS,
+        base_seed=7,
+        system=PAPER_32Q_SYSTEM,
+        name="fig7-comm-qubit-scaling",
     )
+    results = study.run()
 
-    rows = []
-    for count in COUNTS:
-        table = sweep[count].depth_table()
-        rows.append([count] + [f"{table[design]:.1f}" for design in DESIGNS])
+    depth = results.aggregate("depth",
+                              by=["comm_qubits_per_node", "design"])
+    rows = [
+        [count] + [f"{depth[(count, design)].mean:.1f}" for design in DESIGNS]
+        for count in COUNTS
+    ]
     print("QAOA-r8-32 mean circuit depth vs communication/buffer qubits per node")
     print(format_table(["#comm = #buff"] + DESIGNS, rows))
 
-    fidelity_rows = []
-    for count in COUNTS:
-        table = sweep[count].fidelity_table()
-        fidelity_rows.append([count] + [f"{table[design]:.3f}" for design in DESIGNS])
+    fidelity = results.aggregate("fidelity",
+                                 by=["comm_qubits_per_node", "design"])
+    fidelity_rows = [
+        [count] + [f"{fidelity[(count, design)].mean:.3f}"
+                   for design in DESIGNS]
+        for count in COUNTS
+    ]
     print("\nCorresponding output fidelities (nearly flat, as the paper observes)")
     print(format_table(["#comm = #buff"] + DESIGNS, fidelity_rows))
 

@@ -1,40 +1,47 @@
-"""Quickstart: simulate one benchmark under every DQC design.
+"""Quickstart: one declarative study over every DQC design.
 
 Builds the paper's 2-node, 32-data-qubit system (10 communication and 10
-buffer qubits per node, psucc = 0.4), partitions the QAOA-r4-32 benchmark
-over the two nodes with the METIS-substitute multilevel partitioner, and
-simulates its execution under all six designs of the evaluation, printing
-depth and fidelity for each.
+buffer qubits per node, psucc = 0.4) and runs the QAOA-r4-32 benchmark under
+all six designs of the evaluation as a single :class:`repro.Study`, printing
+depth and fidelity for each from the flat result records.
+
+The same study is available from the command line:
+
+    python -m repro run --benchmark QAOA-r4-32 --runs 3
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import DQCSimulator, list_designs
+import os
+
+from repro import Study
 from repro.analysis import format_table
+
+NUM_RUNS = int(os.environ.get("REPRO_RUNS", 3))
 
 
 def main() -> None:
-    simulator = DQCSimulator()          # the paper's 32-qubit system
-    benchmark = "QAOA-r4-32"
+    study = Study(benchmarks="QAOA-r4-32", num_runs=NUM_RUNS, base_seed=1)
+    results = study.run()
 
-    program = simulator.prepare(benchmark)
-    print(f"Benchmark {benchmark}: {program.num_qubits} qubits, "
-          f"{program.local_two_qubit_count()} local 2Q gates, "
-          f"{program.remote_gate_count()} remote 2Q gates\n")
+    print(f"Benchmark QAOA-r4-32: {len(results)} runs "
+          f"({len(results.designs())} designs x {NUM_RUNS} seeds)\n")
 
-    rows = []
-    ideal = simulator.simulate(benchmark, design="ideal", seed=1)
-    for design in list_designs():
-        result = simulator.simulate(benchmark, design=design, seed=1)
-        rows.append([
-            design,
-            f"{result.depth:.1f}",
-            f"{result.depth / ideal.depth:.2f}x",
-            f"{result.fidelity:.3f}",
-            f"{result.mean_remote_wait():.2f}",
-        ])
+    depth = results.aggregate("depth", by=["design"])
+    fidelity = results.aggregate("fidelity", by=["design"])
+    wait = results.aggregate("mean_remote_wait", by=["design"])
+    ideal_depth = depth["ideal"].mean
+
+    rows = [
+        [design,
+         f"{depth[design].mean:.1f}",
+         f"{depth[design].mean / ideal_depth:.2f}x",
+         f"{fidelity[design].mean:.3f}",
+         f"{wait[design].mean:.2f}"]
+        for design in results.designs()
+    ]
     print(format_table(
         ["design", "depth", "depth / ideal", "fidelity", "mean EPR wait"], rows
     ))

@@ -8,10 +8,14 @@ The package implements the paper's full pipeline from scratch:
 * a DQC hardware model with data / communication / buffer qubits,
 * a stochastic heralded-entanglement-generation simulator with synchronous or
   asynchronous attempts, buffering, and cutoff policies,
-* a density-matrix based gate-teleportation fidelity model, and
+* a density-matrix based gate-teleportation fidelity model,
 * a discrete-event executor comparing the six designs of the evaluation
   (``original``, ``sync_buf``, ``async_buf``, ``adapt_buf``, ``init_buf``,
-  ``ideal``).
+  ``ideal``), and
+* a declarative :class:`Study` API (plus the ``python -m repro`` CLI) that
+  expands arbitrary parameter grids — benchmarks, designs, seeds, any
+  ``SystemConfig`` field — into compile-once engine cells and returns flat,
+  serialisable :class:`ResultSet` records.
 
 Quickstart
 ----------
@@ -20,11 +24,18 @@ Quickstart
 >>> result = simulator.simulate("QAOA-r4-32", design="adapt_buf", seed=1)
 >>> round(result.depth, 1) > 0
 True
+
+>>> from repro import Study
+>>> results = Study(benchmarks="TLIM-32", designs=["ideal"], num_runs=2).run()
+>>> len(results)
+2
 """
 
 from repro.benchmarks import build_benchmark, list_benchmarks
 from repro.circuits import QuantumCircuit
 from repro.core import (
+    PAPER_32Q_SYSTEM,
+    PAPER_64Q_SYSTEM,
     DQCSimulator,
     ExperimentConfig,
     ExperimentRunner,
@@ -47,8 +58,16 @@ from repro.engine import (
 from repro.hardware import DQCArchitecture, two_node_architecture
 from repro.partitioning import DistributedProgram, distribute_circuit
 from repro.runtime import DesignExecutor, ExecutionResult, execute_design, list_designs
+from repro.study import (
+    Axis,
+    ExecutionPlan,
+    GridSpec,
+    ResultSet,
+    RunRecord,
+    Study,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "QuantumCircuit",
@@ -64,6 +83,8 @@ __all__ = [
     "list_designs",
     "DQCSimulator",
     "SystemConfig",
+    "PAPER_32Q_SYSTEM",
+    "PAPER_64Q_SYSTEM",
     "ExperimentConfig",
     "ExperimentRunner",
     "run_design_comparison",
@@ -78,5 +99,11 @@ __all__ = [
     "register_backend",
     "list_backends",
     "ExperimentEngine",
+    "Axis",
+    "GridSpec",
+    "ExecutionPlan",
+    "RunRecord",
+    "ResultSet",
+    "Study",
     "__version__",
 ]

@@ -26,7 +26,9 @@ class SystemConfig:
     Attributes
     ----------
     num_nodes:
-        Number of QPU nodes (2 in the paper's evaluation).
+        Number of QPU nodes (2 in the paper's evaluation; the architecture
+        model supports more — :meth:`build_architecture` materialises a
+        generic node ring for ``num_nodes > 2``).
     data_qubits_per_node:
         Data-qubit capacity per node (16 for the 32-qubit experiments,
         32 for the 64-qubit experiments).
@@ -49,13 +51,8 @@ class SystemConfig:
     fidelities: GateFidelities = field(default_factory=GateFidelities)
 
     def __post_init__(self) -> None:
-        if self.num_nodes != 2:
-            # The architecture model supports more nodes, but the reference
-            # experiments are all two-node; keep the constraint explicit so
-            # that mistakes surface early.  Callers can still build custom
-            # DQCArchitecture objects for multi-node studies.
-            if self.num_nodes < 2:
-                raise ConfigurationError("a DQC system needs at least 2 nodes")
+        if self.num_nodes < 2:
+            raise ConfigurationError("a DQC system needs at least 2 nodes")
         if self.data_qubits_per_node < 1:
             raise ConfigurationError("each node needs at least one data qubit")
         if self.comm_qubits_per_node < 1:
@@ -119,7 +116,10 @@ class ExperimentConfig:
     benchmarks:
         Benchmark names from the registry.
     designs:
-        Design names (default: all six of the paper).
+        Design names.  ``None`` (the default) means *every design
+        registered at construction time* — including designs registered
+        after this module was imported — and is resolved to a concrete
+        tuple in ``__post_init__``.
     num_runs:
         Number of stochastic repetitions per (benchmark, design) cell
         (the paper averages 50 runs).
@@ -132,7 +132,7 @@ class ExperimentConfig:
     """
 
     benchmarks: Tuple[str, ...]
-    designs: Tuple[str, ...] = tuple(list_designs())
+    designs: Optional[Tuple[str, ...]] = None
     num_runs: int = 50
     base_seed: int = 1
     system: SystemConfig = field(default_factory=SystemConfig)
@@ -141,6 +141,10 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         if not self.benchmarks:
             raise ConfigurationError("experiment needs at least one benchmark")
+        if self.designs is None:
+            # Resolved per instance, not at class definition, so designs
+            # registered after import still appear in default grids.
+            object.__setattr__(self, "designs", tuple(list_designs()))
         if not self.designs:
             raise ConfigurationError("experiment needs at least one design")
         if self.num_runs < 1:

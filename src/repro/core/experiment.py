@@ -1,16 +1,19 @@
-"""Experiment runner: designs × benchmarks × repetitions.
+"""Legacy experiment entry points, as thin shims over the Study API.
 
-:class:`ExperimentRunner` drives the full evaluation loops of the paper:
-Fig. 5 / 6 (all designs on the 32-qubit benchmarks), Fig. 7 (communication /
-buffer qubit sweep), and Fig. 8 (64-qubit benchmarks).  Results are averaged
-over repetitions and returned as :class:`~repro.core.results.BenchmarkComparison`
-objects that the report module renders as text tables.
+:class:`ExperimentRunner`, :func:`run_design_comparison`, and
+:func:`run_comm_qubit_sweep` predate the declarative
+:class:`~repro.study.study.Study` layer.  They are kept (with their exact
+historical signatures and return shapes) as compatibility wrappers: each
+builds the equivalent ``Study``, runs it, and converts the flat
+:class:`~repro.study.results.ResultSet` back to the nested
+``BenchmarkComparison`` dictionaries via
+:meth:`~repro.study.results.ResultSet.to_comparisons`.  Results are
+bit-identical to the pre-Study implementations — the study compiles and
+executes the same (cell, seed) grid through the same engine.
 
-The runner is a thin wrapper over the staged
-:class:`~repro.engine.pipeline.ExperimentEngine`: each (benchmark, design)
-cell is compiled exactly once and the seed × cell grid is replayed through a
-pluggable execution backend (``"serial"`` by default; ``"process"`` fans the
-grid out across cores with identical results).
+New code should use :class:`~repro.study.study.Study` directly; it covers
+these two shapes and every other axis combination (seeds, scheduling knobs,
+any ``SystemConfig`` field) without hand-written loops.
 """
 
 from __future__ import annotations
@@ -20,10 +23,12 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.codesign import DQCSimulator
 from repro.core.config import ExperimentConfig, SystemConfig
 from repro.core.results import BenchmarkComparison
-from repro.engine.backends import BackendLike, get_backend
+from repro.engine.backends import BackendLike
 from repro.engine.cache import ArtifactCache
 from repro.engine.pipeline import ExperimentEngine
 from repro.runtime.metrics import ExecutionResult
+from repro.study.grid import Axis
+from repro.study.study import Study
 from repro.exceptions import ConfigurationError
 
 __all__ = ["ExperimentRunner", "run_design_comparison", "run_comm_qubit_sweep"]
@@ -31,6 +36,12 @@ __all__ = ["ExperimentRunner", "run_design_comparison", "run_comm_qubit_sweep"]
 
 class ExperimentRunner:
     """Runs one :class:`ExperimentConfig` and aggregates the results.
+
+    A compatibility shim over :class:`~repro.study.study.Study`: the grid
+    run (:meth:`run`) goes through the study layer, while the cell-level
+    helpers keep delegating to the staged
+    :class:`~repro.engine.pipeline.ExperimentEngine`, which shares the
+    study's compiler, artifact cache, and backend.
 
     Parameters
     ----------
@@ -48,8 +59,14 @@ class ExperimentRunner:
                  backend: BackendLike = None,
                  cache: Optional[ArtifactCache] = None) -> None:
         self.config = config
-        self.engine = ExperimentEngine(config, backend=backend, cache=cache)
-        # Shares the engine's compiler, so ad-hoc simulate() calls and the
+        self.study = Study.from_experiment_config(config, backend=backend,
+                                                  cache=cache)
+        self.engine = ExperimentEngine(
+            config,
+            backend=self.study.backend,
+            compiler=self.study.compiler_for(config.system),
+        )
+        # Shares the study's compiler, so ad-hoc simulate() calls and the
         # grid run draw from the same artifact cache.
         self.simulator = DQCSimulator(compiler=self.engine.compiler)
 
@@ -64,11 +81,16 @@ class ExperimentRunner:
 
     def run(self) -> Dict[str, BenchmarkComparison]:
         """The full experiment, keyed by benchmark name."""
-        return self.engine.run()
+        return self.study.run().to_comparisons()
 
     def close(self) -> None:
-        """Release the engine's backend resources (worker processes)."""
-        self.engine.close()
+        """Release backend resources the runner created.
+
+        Caller-provided backend instances stay open (the same ownership
+        contract as :class:`~repro.study.study.Study` and the module-level
+        helpers); backends resolved from a name / ``None`` are closed.
+        """
+        self.study.close()
 
     def __enter__(self) -> "ExperimentRunner":
         return self
@@ -88,12 +110,14 @@ def run_design_comparison(
 ) -> Dict[str, BenchmarkComparison]:
     """Convenience wrapper reproducing one Fig. 5 / Fig. 6 / Fig. 8 sweep.
 
+    Equivalent to ``Study(benchmarks, designs, ...).run().to_comparisons()``.
+
     Parameters
     ----------
     benchmarks:
         Benchmark names to evaluate.
     designs:
-        Design names (defaults to all six).
+        Design names (defaults to all registered designs).
     num_runs:
         Stochastic repetitions per cell (the paper uses 50; the benchmark
         harness uses fewer by default to keep wall-clock time reasonable and
@@ -103,28 +127,25 @@ def run_design_comparison(
     base_seed:
         Seed of the first repetition.
     backend:
-        Execution backend (instance, name, or ``None`` for serial).
+        Execution backend (instance, name, or ``None`` for serial).  The
+        helper closes backends it creates from a name / ``None``;
+        caller-provided instances stay open for reuse.
     cache:
         Optional shared compile-artifact cache.
     """
-    from repro.runtime.designs import list_designs
-
-    config = ExperimentConfig(
-        benchmarks=tuple(benchmarks),
-        designs=tuple(designs) if designs is not None else tuple(list_designs()),
+    study = Study(
+        benchmarks=list(benchmarks),
+        designs=list(designs) if designs is not None else None,
         num_runs=num_runs,
         base_seed=base_seed,
         system=system or SystemConfig(),
+        backend=backend,
+        cache=cache,
     )
-    resolved = get_backend(backend)
     try:
-        return ExperimentRunner(config, backend=resolved, cache=cache).run()
+        return study.run().to_comparisons()
     finally:
-        if resolved is not backend:
-            # The backend was created here (from a name or None), so its
-            # worker processes are released here; caller-provided instances
-            # stay open for reuse.
-            resolved.close()
+        study.close()
 
 
 def run_comm_qubit_sweep(
@@ -141,7 +162,9 @@ def run_comm_qubit_sweep(
 
     For every entry ``n`` of ``comm_buffer_counts`` the system is configured
     with ``n`` communication and ``n`` buffer qubits per node and the chosen
-    designs are evaluated on ``benchmark``.
+    designs are evaluated on ``benchmark``.  Equivalent to a ``Study`` with
+    one zipped communication/buffer axis, keyed by count via
+    ``to_comparisons(by="comm_qubits_per_node")``.
 
     All sweep steps share one compile-artifact cache and one execution
     backend: the partitioned program of ``benchmark`` is compiled once for
@@ -151,19 +174,18 @@ def run_comm_qubit_sweep(
     """
     if not comm_buffer_counts:
         raise ConfigurationError("sweep needs at least one qubit count")
-    base_system = base_system or SystemConfig()
-    cache = cache if cache is not None else ArtifactCache()
-    resolved = get_backend(backend)
-    sweep_results: Dict[int, BenchmarkComparison] = {}
+    study = Study(
+        benchmarks=benchmark,
+        designs=list(designs) if designs is not None else None,
+        axes=[Axis(("comm_qubits_per_node", "buffer_qubits_per_node"),
+                   [(count, count) for count in comm_buffer_counts])],
+        num_runs=num_runs,
+        base_seed=base_seed,
+        system=base_system or SystemConfig(),
+        backend=backend,
+        cache=cache,
+    )
     try:
-        for count in comm_buffer_counts:
-            system = base_system.with_comm_and_buffer(count, count)
-            comparisons = run_design_comparison(
-                [benchmark], designs=designs, num_runs=num_runs, system=system,
-                base_seed=base_seed, backend=resolved, cache=cache,
-            )
-            sweep_results[count] = comparisons[benchmark]
+        return study.run().to_comparisons(by="comm_qubits_per_node")
     finally:
-        if resolved is not backend:
-            resolved.close()
-    return sweep_results
+        study.close()

@@ -1,0 +1,26 @@
+"""Declarative study layer: parameter grids, flat results, CLI.
+
+A :class:`Study` turns any grid of sweep axes — benchmarks, designs, seeds,
+scheduling knobs, and scalar :class:`~repro.core.config.SystemConfig` fields
+— into a lazy, deduplicated :class:`ExecutionPlan` of compile-once engine
+cells, runs them through one shared cache and backend, and returns a flat,
+JSON/CSV-serialisable :class:`ResultSet` of per-run records.
+
+The ``python -m repro`` command line (:mod:`repro.study.cli`) executes
+studies from flags or JSON spec files.
+"""
+
+from repro.study.grid import Axis, GridSpec
+from repro.study.plan import ExecutionPlan, PlanCell
+from repro.study.results import ResultSet, RunRecord
+from repro.study.study import Study
+
+__all__ = [
+    "Axis",
+    "GridSpec",
+    "PlanCell",
+    "ExecutionPlan",
+    "RunRecord",
+    "ResultSet",
+    "Study",
+]

@@ -1,0 +1,301 @@
+"""``python -m repro`` — run studies from the command line.
+
+Subcommands
+-----------
+``run``
+    Execute one benchmarks × designs study and write the ResultSet::
+
+        python -m repro run --benchmark QAOA-r4-16 --runs 2 --out /tmp/rs.json
+
+``sweep``
+    Execute a study with extra axes, from flags or a JSON spec file::
+
+        python -m repro sweep --benchmark QAOA-r8-32 \\
+            --axis comm_qubits_per_node,buffer_qubits_per_node=10:10,15:15,20:20
+        python -m repro sweep --spec study.json --out results.json
+
+``list-benchmarks`` / ``list-designs``
+    Show the registered benchmark suite and the paper's designs.
+
+Axis syntax: ``field=v1,v2,v3`` for one field, or
+``fieldA,fieldB=a1:b1,a2:b2`` for fields swept together (zipped).  Values
+are parsed as JSON scalars where possible (``0.4`` → float, ``10`` → int).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.benchmarks.registry import get_benchmark, list_benchmarks
+from repro.core.config import SystemConfig
+from repro.engine.backends import list_backends
+from repro.exceptions import ReproError
+from repro.runtime.designs import DESIGNS, list_designs
+from repro.study.grid import Axis
+from repro.study.results import ResultSet
+from repro.study.study import Study
+
+__all__ = ["main", "build_parser", "parse_axis"]
+
+
+def parse_axis(text: str) -> Axis:
+    """Parse one ``--axis`` argument into an :class:`Axis`."""
+    if "=" not in text:
+        raise ValueError(
+            f"axis {text!r} must look like field=v1,v2 "
+            f"or fieldA,fieldB=a1:b1,a2:b2"
+        )
+    fields_part, values_part = text.split("=", 1)
+    fields = [f.strip() for f in fields_part.split(",") if f.strip()]
+    if not fields or not values_part.strip():
+        raise ValueError(f"axis {text!r} needs fields and values")
+    points: List[Any] = []
+    for chunk in values_part.split(","):
+        entries = [_parse_scalar(v) for v in chunk.split(":")]
+        if len(fields) == 1:
+            if len(entries) != 1:
+                raise ValueError(
+                    f"axis {text!r}: single-field points take one value each"
+                )
+            points.append(entries[0])
+        else:
+            if len(entries) != len(fields):
+                raise ValueError(
+                    f"axis {text!r}: point {chunk!r} has {len(entries)} "
+                    f"entries for {len(fields)} fields"
+                )
+            points.append(tuple(entries))
+    return Axis(fields if len(fields) > 1 else fields[0], points)
+
+
+def _parse_scalar(text: str) -> Any:
+    text = text.strip()
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _add_study_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--benchmark", "-b", action="append", default=None,
+                        metavar="NAME",
+                        help="benchmark to run (repeatable); Table I names or "
+                             "family names like TLIM-16 / QAOA-r4-16 / QFT-16")
+    parser.add_argument("--design", "-d", action="append", default=None,
+                        metavar="NAME",
+                        help="design to run (repeatable; default: all)")
+    parser.add_argument("--runs", type=int, default=None, metavar="N",
+                        help="stochastic repetitions per cell (default 3)")
+    parser.add_argument("--seed", type=int, default=None, metavar="S",
+                        help="seed of the first repetition (default 1)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help=f"execution backend ({', '.join(list_backends())})")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="QPU node count (default 2)")
+    parser.add_argument("--data-qubits", type=int, default=None, metavar="N",
+                        help="data qubits per node (default 16)")
+    parser.add_argument("--comm-qubits", type=int, default=None, metavar="N",
+                        help="communication qubits per node (default 10)")
+    parser.add_argument("--buffer-qubits", type=int, default=None, metavar="N",
+                        help="buffer qubits per node (default 10)")
+    parser.add_argument("--psucc", type=float, default=None, metavar="P",
+                        help="per-attempt EPR success probability (default 0.4)")
+    parser.add_argument("--partition-seed", type=int, default=None, metavar="S",
+                        help="graph-partitioner seed (default 0)")
+    parser.add_argument("--out", "-o", default=None, metavar="PATH",
+                        help="write the ResultSet as JSON (or CSV if the "
+                             "path ends in .csv)")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="suppress the summary table")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run declarative DQC co-design studies "
+                    "(benchmarks x designs x system parameters).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a benchmarks x designs study")
+    _add_study_options(run)
+
+    sweep = sub.add_parser("sweep", help="run a study with extra sweep axes")
+    _add_study_options(sweep)
+    sweep.add_argument("--axis", "-a", action="append", default=None,
+                       metavar="FIELD=V1,V2",
+                       help="sweep axis (repeatable); zip fields with "
+                            "fieldA,fieldB=a1:b1,a2:b2")
+    sweep.add_argument("--spec", default=None, metavar="FILE",
+                       help="JSON study spec file (flags override its "
+                            "runs/seed/backend)")
+
+    sub.add_parser("list-benchmarks", help="show the registered benchmarks")
+    sub.add_parser("list-designs", help="show the paper's designs")
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _system_overrides(args: argparse.Namespace) -> dict:
+    overrides = {
+        "num_nodes": args.nodes,
+        "data_qubits_per_node": args.data_qubits,
+        "comm_qubits_per_node": args.comm_qubits,
+        "buffer_qubits_per_node": args.buffer_qubits,
+        "epr_success_probability": args.psucc,
+    }
+    return {key: value for key, value in overrides.items()
+            if value is not None}
+
+
+def _study_from_args(args: argparse.Namespace) -> Study:
+    spec_path = getattr(args, "spec", None)
+    axes = [parse_axis(text) for text in (getattr(args, "axis", None) or [])]
+    if spec_path is not None:
+        # Flags layer on top of the spec for quick what-if runs: overrides
+        # are applied to the spec dictionary (a --benchmark / --design flag
+        # replaces the spec's matching axis), then one Study is built.
+        spec = json.loads(Path(spec_path).read_text())
+        effective = dict(spec)
+        spec_axes = list(spec.get("axes") or [])
+        if args.benchmark:
+            effective["benchmarks"] = args.benchmark
+            spec_axes = [a for a in spec_axes
+                         if list(a.get("fields", [])) != ["benchmark"]]
+        if args.design:
+            effective["designs"] = args.design
+            spec_axes = [a for a in spec_axes
+                         if list(a.get("fields", [])) != ["design"]]
+        if args.runs is not None or args.seed is not None:
+            # A seed axis would take precedence over num_runs/base_seed,
+            # silently ignoring the flags; the flags replace it instead.
+            spec_axes = [a for a in spec_axes
+                         if list(a.get("fields", [])) != ["seed"]]
+        effective["axes"] = [*spec_axes, *(a.to_spec() for a in axes)]
+        if args.runs is not None:
+            effective["num_runs"] = args.runs
+        elif "num_runs" not in effective:
+            effective["num_runs"] = 3  # match the flags path / --help default
+        if args.seed is not None:
+            effective["base_seed"] = args.seed
+        if args.partition_seed is not None:
+            effective["partition_seed"] = args.partition_seed
+        overrides = _system_overrides(args)
+        if overrides:
+            effective["system"] = {**(spec.get("system") or {}), **overrides}
+        return Study.from_spec(effective, backend=args.backend)
+    if not args.benchmark and not any(a.fields == ("benchmark",)
+                                      for a in axes):
+        raise ReproError("no benchmark given (use --benchmark, an "
+                         "--axis benchmark=..., or --spec)")
+    from dataclasses import replace
+    overrides = _system_overrides(args)
+    return Study(
+        benchmarks=args.benchmark,
+        designs=args.design,
+        axes=axes,
+        num_runs=args.runs if args.runs is not None else 3,
+        base_seed=args.seed if args.seed is not None else 1,
+        system=(replace(SystemConfig(), **overrides) if overrides
+                else SystemConfig()),
+        partition_seed=args.partition_seed or 0,
+        backend=args.backend,
+    )
+
+
+def _summary_table(results: ResultSet) -> str:
+    params = results.param_keys()
+    group_cols = [*params, "benchmark", "design"]
+    depth = results.aggregate("depth", by=group_cols)
+    fidelity = results.aggregate("fidelity", by=group_cols)
+    headers = [*group_cols, "runs", "mean depth", "std", "mean fidelity"]
+    rows = []
+    for group, stats in depth.items():
+        key = group if isinstance(group, tuple) else (group,)
+        rows.append([
+            *key, stats.count, f"{stats.mean:.2f}", f"{stats.std:.2f}",
+            f"{fidelity[group].mean:.4f}",
+        ])
+    return format_table(headers, rows)
+
+
+def _write_output(results: ResultSet, path: str) -> None:
+    if path.endswith(".csv"):
+        results.to_csv(path)
+    else:
+        results.to_json(path)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    study = _study_from_args(args)
+    plan = study.plan()
+    try:
+        results = study.run(plan)
+    finally:
+        study.close()
+    if args.out:
+        _write_output(results, args.out)
+    if not args.quiet:
+        print(f"study: {len(plan)} cells, {plan.num_tasks} runs, "
+              f"{len(plan.systems())} system configuration(s)")
+        print(_summary_table(results))
+        if args.out:
+            print(f"written: {args.out}")
+    return 0
+
+
+def _cmd_list_benchmarks() -> int:
+    rows = []
+    for name in list_benchmarks():
+        spec = get_benchmark(name)
+        rows.append([spec.name, spec.num_qubits, spec.description])
+    print(format_table(["name", "qubits", "description"], rows))
+    print("\nFamily names synthesise further sizes on demand: "
+          "TLIM-<n>, QAOA-r<d>-<n>, QFT-<n> (e.g. QAOA-r4-16).")
+    return 0
+
+
+def _cmd_list_designs() -> int:
+    rows = []
+    for name in list_designs():
+        spec = DESIGNS[name]
+        rows.append([
+            name,
+            "yes" if spec.use_buffer else "no",
+            spec.attempt_policy.name.lower(),
+            "yes" if spec.adaptive_scheduling else "no",
+            "yes" if spec.prefill_buffers else "no",
+            "ideal" if spec.ideal else "",
+        ])
+    print(format_table(
+        ["name", "buffers", "attempts", "adaptive", "pre-filled", "note"],
+        rows,
+    ))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command in ("run", "sweep"):
+            return _cmd_run(args)
+        if args.command == "list-benchmarks":
+            return _cmd_list_benchmarks()
+        if args.command == "list-designs":
+            return _cmd_list_designs()
+        parser.error(f"unknown command {args.command!r}")
+    except (ReproError, ValueError, OSError) as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""Declarative sweep axes and their cartesian expansion.
+
+An :class:`Axis` names one swept dimension of a study — a benchmark list, a
+design list, a seed list, or any :class:`~repro.core.config.SystemConfig`
+field such as ``comm_qubits_per_node`` or ``epr_success_probability`` — and
+a :class:`GridSpec` is an ordered collection of axes whose cartesian product
+is the study's grid.  An axis may *zip* several fields together (one value
+tuple per point), which expresses coupled sweeps such as Fig. 7's "n
+communication **and** n buffer qubits per node" without a cross product.
+
+The expansion is pure data: no circuit is built, nothing is compiled, and
+nothing is executed until the owning :class:`~repro.study.study.Study`
+turns grid points into engine cells.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Axis", "GridSpec"]
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One swept dimension: one or more zipped fields and their values.
+
+    Parameters
+    ----------
+    fields:
+        A field name, or a sequence of field names that vary together
+        (zipped).  Reserved names — ``benchmark``, ``design``, ``seed``,
+        ``segment_length``, ``adaptive_policy`` — address the execution
+        pipeline; every other name must be a ``SystemConfig`` field.
+    values:
+        The points of the axis.  For a single field, one scalar per point;
+        for zipped fields, one sequence of ``len(fields)`` entries per
+        point.
+
+    Examples
+    --------
+    >>> Axis("epr_success_probability", [0.2, 0.4, 0.8]).size
+    3
+    >>> comm = Axis(("comm_qubits_per_node", "buffer_qubits_per_node"),
+    ...             [(10, 10), (15, 15), (20, 20)])
+    >>> list(comm.points())[0]
+    {'comm_qubits_per_node': 10, 'buffer_qubits_per_node': 10}
+    """
+
+    fields: Tuple[str, ...]
+    values: Tuple[Any, ...]
+
+    def __init__(self, fields: Union[str, Sequence[str]],
+                 values: Sequence[Any]) -> None:
+        names = (fields,) if isinstance(fields, str) else tuple(fields)
+        if not names:
+            raise ConfigurationError("axis needs at least one field")
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"axis fields {names} contain duplicates")
+        if isinstance(values, str):
+            # A bare string would iterate character by character and build
+            # a nonsense grid; require an explicit sequence of points.
+            raise ConfigurationError(
+                f"axis {'/'.join(names)} values must be a sequence of "
+                f"points, not the string {values!r}"
+            )
+        points = tuple(values)
+        if not points:
+            raise ConfigurationError(
+                f"axis {'/'.join(names)} needs at least one value"
+            )
+        if len(names) > 1:
+            normalised = []
+            for value in points:
+                if isinstance(value, str) or not isinstance(value, Sequence):
+                    raise ConfigurationError(
+                        f"zipped axis {'/'.join(names)} needs one sequence of "
+                        f"{len(names)} entries per point, got {value!r}"
+                    )
+                entry = tuple(value)
+                if len(entry) != len(names):
+                    raise ConfigurationError(
+                        f"zipped axis {'/'.join(names)} point {value!r} has "
+                        f"{len(entry)} entries, expected {len(names)}"
+                    )
+                normalised.append(entry)
+            points = tuple(normalised)
+        object.__setattr__(self, "fields", names)
+        object.__setattr__(self, "values", points)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of points along this axis."""
+        return len(self.values)
+
+    def points(self) -> Iterator[Dict[str, Any]]:
+        """Yield one ``{field: value}`` mapping per point."""
+        for value in self.values:
+            if len(self.fields) == 1:
+                yield {self.fields[0]: value}
+            else:
+                yield dict(zip(self.fields, value))
+
+    def to_spec(self) -> Dict[str, Any]:
+        """JSON-friendly description (inverse of :meth:`from_spec`)."""
+        return {"fields": list(self.fields),
+                "values": [list(v) if isinstance(v, tuple) else v
+                           for v in self.values]}
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "Axis":
+        """Rebuild an axis from a :meth:`to_spec` dictionary."""
+        if "fields" not in spec or "values" not in spec:
+            raise ConfigurationError(
+                f"axis spec needs 'fields' and 'values' keys, got {sorted(spec)}"
+            )
+        return cls(spec["fields"], spec["values"])
+
+
+class GridSpec:
+    """Ordered axes whose cartesian product is the study grid.
+
+    Axes vary slowest-first: the first axis is the outermost loop of the
+    expansion and the last axis the innermost, so declared order controls
+    both the iteration order of :meth:`points` and the record order of the
+    resulting :class:`~repro.study.results.ResultSet`.
+    """
+
+    def __init__(self, axes: Sequence[Axis]) -> None:
+        self.axes: Tuple[Axis, ...] = tuple(axes)
+        if not self.axes:
+            raise ConfigurationError("grid needs at least one axis")
+        seen: List[str] = []
+        for axis in self.axes:
+            for name in axis.fields:
+                if name in seen:
+                    raise ConfigurationError(
+                        f"field {name!r} appears on more than one axis"
+                    )
+                seen.append(name)
+        self.fields: Tuple[str, ...] = tuple(seen)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of grid points (product of the axis sizes)."""
+        total = 1
+        for axis in self.axes:
+            total *= axis.size
+        return total
+
+    def points(self) -> Iterator[Dict[str, Any]]:
+        """Yield every grid point as one merged ``{field: value}`` mapping."""
+        for combination in itertools.product(
+                *(tuple(axis.points()) for axis in self.axes)):
+            point: Dict[str, Any] = {}
+            for part in combination:
+                point.update(part)
+            yield point
+
+    def axis(self, field: str) -> Axis:
+        """The axis that sweeps ``field``."""
+        for candidate in self.axes:
+            if field in candidate.fields:
+                return candidate
+        raise ConfigurationError(f"no axis sweeps field {field!r}")
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{'/'.join(axis.fields)}[{axis.size}]" for axis in self.axes
+        )
+        return f"GridSpec({parts}, size={self.size})"

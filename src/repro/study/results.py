@@ -1,0 +1,360 @@
+"""Flat, serialisable study results.
+
+Every simulated run of a study becomes one :class:`RunRecord` — a flat
+(benchmark, design, seed, swept-parameters, metrics) row — and a whole study
+one :class:`ResultSet`.  The flat shape replaces the nested
+``Dict[str, BenchmarkComparison]`` / ``Dict[int, BenchmarkComparison]``
+returns of the legacy helpers: any grouping can be recovered with
+:meth:`ResultSet.group_by` / :meth:`ResultSet.aggregate`, the legacy shapes
+with :meth:`ResultSet.to_comparisons`, and the whole set round-trips through
+JSON (:meth:`to_json` / :meth:`from_json`) so grids can be re-analysed
+without re-simulation.
+
+Aggregation formulas mirror
+:meth:`~repro.core.results.DesignSummary.from_results` exactly (``summarize``
+for depth / fidelity, arithmetic means for the rest, in seed order), so
+comparisons rebuilt from records are bit-identical to ones aggregated
+directly from :class:`~repro.runtime.metrics.ExecutionResult` lists.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields
+from pathlib import Path
+from typing import (
+    Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple,
+    Union,
+)
+
+from repro.analysis.statistics import SampleStatistics, summarize
+from repro.core.results import BenchmarkComparison, DesignSummary
+from repro.exceptions import ConfigurationError
+from repro.runtime.metrics import ExecutionResult
+
+__all__ = ["RunRecord", "ResultSet"]
+
+#: Metric columns of a record, in stable serialisation order.
+METRIC_FIELDS: Tuple[str, ...] = (
+    "depth", "fidelity", "num_remote", "mean_remote_wait",
+    "mean_link_fidelity", "epr_generated", "epr_wasted",
+)
+
+#: Identity columns of a record, in stable serialisation order.
+KEY_FIELDS: Tuple[str, ...] = ("benchmark", "design", "seed")
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One simulated run: identity, swept parameters, and flat metrics.
+
+    ``params`` holds the coordinates of the run on every non-reserved study
+    axis (e.g. ``{"comm_qubits_per_node": 15}``), already reduced to
+    JSON-compatible values so records compare equal across a
+    serialisation round-trip.
+    """
+
+    benchmark: str
+    design: str
+    seed: int
+    depth: float
+    fidelity: float
+    num_remote: int
+    mean_remote_wait: float
+    mean_link_fidelity: float
+    epr_generated: float
+    epr_wasted: float
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_execution_result(cls, result: ExecutionResult,
+                              params: Optional[Mapping[str, Any]] = None
+                              ) -> "RunRecord":
+        """Flatten one :class:`ExecutionResult` into a record."""
+        return cls(
+            benchmark=result.benchmark,
+            design=result.design,
+            seed=result.seed,
+            depth=result.makespan,
+            fidelity=result.fidelity,
+            num_remote=result.num_remote,
+            mean_remote_wait=result.mean_remote_wait(),
+            mean_link_fidelity=result.mean_link_fidelity(),
+            epr_generated=result.epr_statistics.get("generated", 0),
+            epr_wasted=result.epr_statistics.get("wasted", 0),
+            params=dict(params or {}),
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any:
+        """Value of a column: a record field or a swept parameter."""
+        if key in KEY_FIELDS or key in METRIC_FIELDS:
+            return getattr(self, key)
+        if key in self.params:
+            return self.params[key]
+        raise KeyError(
+            f"record has no column {key!r}; known: "
+            f"{', '.join((*KEY_FIELDS, *sorted(self.params), *METRIC_FIELDS))}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested JSON-friendly form (params kept as a sub-mapping)."""
+        row = {name: getattr(self, name) for name in KEY_FIELDS}
+        row["params"] = dict(self.params)
+        row.update({name: getattr(self, name) for name in METRIC_FIELDS})
+        return row
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, Any]) -> "RunRecord":
+        """Rebuild a record from its :meth:`to_dict` form."""
+        known = {f.name for f in dataclass_fields(cls)}
+        missing = (known - {"params"}) - set(row)
+        if missing:
+            raise ConfigurationError(
+                f"record row is missing columns: {', '.join(sorted(missing))}"
+            )
+        return cls(**{key: row[key] for key in known if key in row})
+
+
+GroupKey = Union[Any, Tuple[Any, ...]]
+
+
+class ResultSet:
+    """Ordered collection of :class:`RunRecord` with analysis helpers.
+
+    Records keep the execution order of the study grid (axes slowest-first,
+    seeds innermost), which downstream aggregation relies on for
+    deterministic floating-point sums.
+    """
+
+    SCHEMA_VERSION = 1
+
+    def __init__(self, records: Sequence[RunRecord],
+                 metadata: Optional[Mapping[str, Any]] = None) -> None:
+        self.records: List[RunRecord] = list(records)
+        self.metadata: Dict[str, Any] = dict(metadata or {})
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> RunRecord:
+        return self.records[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return (self.records == other.records
+                and self.metadata == other.metadata)
+
+    def __repr__(self) -> str:
+        return (f"ResultSet({len(self.records)} records, "
+                f"benchmarks={self.benchmarks()}, designs={self.designs()})")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def benchmarks(self) -> List[str]:
+        """Distinct benchmark names, in first-seen order."""
+        return list(dict.fromkeys(r.benchmark for r in self.records))
+
+    def designs(self) -> List[str]:
+        """Distinct design names, in first-seen order."""
+        return list(dict.fromkeys(r.design for r in self.records))
+
+    def param_keys(self) -> List[str]:
+        """Sorted union of swept-parameter names across all records."""
+        keys = set()
+        for record in self.records:
+            keys.update(record.params)
+        return sorted(keys)
+
+    def values(self, key: str) -> List[Any]:
+        """Column values of every record, in record order."""
+        return [record.get(key) for record in self.records]
+
+    # ------------------------------------------------------------------
+    # relational helpers
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Optional[Callable[[RunRecord], bool]] = None,
+               **equalities: Any) -> "ResultSet":
+        """Records matching a predicate and/or column equalities.
+
+        >>> rs.filter(design="adapt_buf", comm_qubits_per_node=15)  # doctest: +SKIP
+        """
+        def matches(record: RunRecord) -> bool:
+            if predicate is not None and not predicate(record):
+                return False
+            return all(record.get(key) == value
+                       for key, value in equalities.items())
+
+        return ResultSet([r for r in self.records if matches(r)],
+                         metadata=self.metadata)
+
+    def group_by(self, *keys: str) -> Dict[GroupKey, "ResultSet"]:
+        """Partition records by one or more columns, preserving order.
+
+        A single key yields scalar group keys; several yield tuples.
+        """
+        if not keys:
+            raise ConfigurationError("group_by needs at least one column")
+        groups: Dict[GroupKey, List[RunRecord]] = {}
+        for record in self.records:
+            values = tuple(record.get(key) for key in keys)
+            group = values[0] if len(keys) == 1 else values
+            groups.setdefault(group, []).append(record)
+        return {group: ResultSet(records, metadata=self.metadata)
+                for group, records in groups.items()}
+
+    def aggregate(self, metric: str, by: Union[str, Sequence[str]] = ()
+                  ) -> Dict[GroupKey, SampleStatistics]:
+        """Summary statistics of one metric per group.
+
+        ``by`` is one column name or a sequence of them; with no ``by``
+        columns the whole set is one group keyed ``()``.
+        """
+        if isinstance(by, str):
+            by = [by]
+        if not by:
+            return {(): summarize(self.values(metric))}
+        return {
+            group: summarize(subset.values(metric))
+            for group, subset in self.group_by(*by).items()
+        }
+
+    # ------------------------------------------------------------------
+    # legacy shape
+    # ------------------------------------------------------------------
+    def _summary(self, records: Sequence[RunRecord]) -> DesignSummary:
+        # Mirrors DesignSummary.from_results term for term so the rebuilt
+        # aggregate is bit-identical to one computed from ExecutionResults.
+        first = records[0]
+        return DesignSummary(
+            design=first.design,
+            benchmark=first.benchmark,
+            depth=summarize([r.depth for r in records]),
+            fidelity=summarize([r.fidelity for r in records]),
+            mean_remote_wait=sum(r.mean_remote_wait for r in records)
+            / len(records),
+            mean_link_fidelity=sum(r.mean_link_fidelity for r in records)
+            / len(records),
+            epr_generated=sum(r.epr_generated for r in records) / len(records),
+            epr_wasted=sum(r.epr_wasted for r in records) / len(records),
+            num_runs=len(records),
+        )
+
+    def _comparison(self, records: Sequence[RunRecord]) -> BenchmarkComparison:
+        benchmarks = list(dict.fromkeys(r.benchmark for r in records))
+        if len(benchmarks) != 1:
+            raise ConfigurationError(
+                f"comparison group spans several benchmarks: {benchmarks}; "
+                f"group by 'benchmark' first or filter the set"
+            )
+        variants = {tuple(sorted(r.params.items())) for r in records}
+        if len(variants) > 1:
+            varied = sorted({key for variant in variants for key, _ in variant})
+            raise ConfigurationError(
+                f"comparison group mixes several swept-parameter variants "
+                f"({', '.join(varied)}); averaging across system variants "
+                f"would be meaningless — use to_comparisons(by=...), "
+                f"group_by, or filter to isolate one variant per group"
+            )
+        comparison = BenchmarkComparison(benchmark=benchmarks[0])
+        by_design: Dict[str, List[RunRecord]] = {}
+        for record in records:
+            by_design.setdefault(record.design, []).append(record)
+        for design_records in by_design.values():
+            comparison.add(self._summary(design_records))
+        return comparison
+
+    def to_comparisons(self, by: Optional[str] = None
+                       ) -> Dict[Any, BenchmarkComparison]:
+        """Rebuild the legacy nested comparison shapes.
+
+        ``by=None`` groups by benchmark (the ``run_design_comparison``
+        shape); ``by="<param>"`` groups by a swept parameter with one
+        benchmark per group (the ``run_comm_qubit_sweep`` shape).
+        """
+        if not self.records:
+            return {}
+        key = by if by is not None else "benchmark"
+        return {
+            group: self._comparison(subset.records)
+            for group, subset in self.group_by(key).items()
+        }
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Fully flat rows: params merged into the columns.
+
+        Column order is stable: identity, sorted params, metrics.
+        """
+        params = self.param_keys()
+        rows = []
+        for record in self.records:
+            row = {name: getattr(record, name) for name in KEY_FIELDS}
+            for key in params:
+                row[key] = record.params.get(key)
+            row.update({name: getattr(record, name) for name in METRIC_FIELDS})
+            rows.append(row)
+        return rows
+
+    def to_json(self, path: Optional[Union[str, Path]] = None,
+                indent: Optional[int] = 2) -> str:
+        """Serialise to JSON text, optionally also writing ``path``."""
+        payload = {
+            "schema": self.SCHEMA_VERSION,
+            "metadata": self.metadata,
+            "records": [record.to_dict() for record in self.records],
+        }
+        text = json.dumps(payload, indent=indent) + "\n"
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source: Union[str, Mapping[str, Any]]) -> "ResultSet":
+        """Rebuild a set from :meth:`to_json` output (text or parsed dict)."""
+        payload = json.loads(source) if isinstance(source, str) else dict(source)
+        if not isinstance(payload, dict) or "records" not in payload:
+            raise ConfigurationError("not a serialised ResultSet (no 'records')")
+        schema = payload.get("schema", cls.SCHEMA_VERSION)
+        if schema != cls.SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported ResultSet schema {schema!r} "
+                f"(supported: {cls.SCHEMA_VERSION})"
+            )
+        records = [RunRecord.from_dict(row) for row in payload["records"]]
+        return cls(records, metadata=payload.get("metadata", {}))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ResultSet":
+        """Read a set previously written with ``to_json(path)``."""
+        return cls.from_json(Path(path).read_text())
+
+    def to_csv(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Serialise to CSV with the stable :meth:`to_records` columns."""
+        columns = [*KEY_FIELDS, *self.param_keys(), *METRIC_FIELDS]
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns,
+                                lineterminator="\n")
+        writer.writeheader()
+        for row in self.to_records():
+            writer.writerow({
+                key: json.dumps(value) if isinstance(value, (dict, list))
+                else value
+                for key, value in row.items()
+            })
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text

@@ -1,0 +1,595 @@
+"""Declarative experiment studies on top of the compile-once engine.
+
+A :class:`Study` is the one entry point for *any* parameter sweep of the
+evaluation: it crosses arbitrary axes — benchmarks, designs, seeds,
+scheduling knobs, and any :class:`~repro.core.config.SystemConfig` field —
+into a lazy, deduplicated :class:`~repro.study.plan.ExecutionPlan` of engine
+cells, compiles each unique cell exactly once against one shared
+:class:`~repro.engine.cache.ArtifactCache`, replays the whole seed × cell
+grid through one pluggable execution backend in a single flat batch, and
+returns a flat :class:`~repro.study.results.ResultSet`.
+
+The paper's figures are each one study::
+
+    # Fig. 5 / 6: designs × benchmarks on the 32-qubit system
+    Study(benchmarks=["TLIM-32", "QAOA-r4-32", "QAOA-r8-32", "QFT-32"],
+          num_runs=50, system=PAPER_32Q_SYSTEM)
+
+    # Fig. 7: communication / buffer qubits swept together
+    Study(benchmarks="QAOA-r8-32",
+          axes=[Axis(("comm_qubits_per_node", "buffer_qubits_per_node"),
+                     [(10, 10), (15, 15), (20, 20)])])
+
+    # A new 2-axis grid: link quality x design
+    Study(benchmarks="QAOA-r4-32",
+          axes={"epr_success_probability": [0.2, 0.4, 0.8]})
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.config import SystemConfig
+from repro.engine.backends import BackendLike, ExecutionBackend, ExecutionTask, get_backend
+from repro.engine.cache import ArtifactCache, fingerprint
+from repro.engine.compiler import CellCompiler, CompiledCell
+from repro.exceptions import ConfigurationError
+from repro.hardware.parameters import GateFidelities, GateTimes
+from repro.runtime.designs import DesignSpec, list_designs
+from repro.scheduling.policies import AdaptivePolicy
+from repro.study.grid import Axis, GridSpec
+from repro.study.plan import ExecutionPlan, PlanCell, jsonify, param_token
+from repro.study.results import ResultSet, RunRecord
+
+__all__ = ["Study", "EXECUTOR_AXES", "RESERVED_AXES"]
+
+#: Axis names that address the execution pipeline rather than the system.
+EXECUTOR_AXES = ("segment_length", "adaptive_policy")
+
+#: All reserved axis names (everything else must be a SystemConfig field).
+RESERVED_AXES = ("benchmark", "design", "seed", *EXECUTOR_AXES)
+
+_SYSTEM_FIELDS = tuple(
+    f.name for f in dataclass_fields(SystemConfig)
+    if f.name not in ("gate_times", "fidelities")
+)
+
+AxesLike = Union[Sequence[Axis], Mapping[str, Sequence[Any]]]
+
+
+def _normalise_axes(axes: Optional[AxesLike]) -> List[Axis]:
+    if axes is None:
+        return []
+    if isinstance(axes, Mapping):
+        return [Axis(field, values) for field, values in axes.items()]
+    return [axis if isinstance(axis, Axis) else Axis(*axis) for axis in axes]
+
+
+class Study:
+    """One declarative experiment: a grid of axes over one base configuration.
+
+    Parameters
+    ----------
+    benchmarks:
+        Benchmark name or list of names (the ``benchmark`` axis).  May be
+        omitted if ``axes`` contains an explicit ``benchmark`` axis.
+    designs:
+        Design names and/or explicit :class:`DesignSpec` objects (the
+        ``design`` axis).  ``None`` means *all designs registered at run
+        time*.  May also be given as an explicit ``design`` axis.
+    axes:
+        Additional swept dimensions: a sequence of :class:`Axis` or a
+        mapping ``{field: values}``.  Reserved fields — ``seed``,
+        ``segment_length``, ``adaptive_policy`` — address the execution
+        pipeline; every other field must be a scalar
+        :class:`SystemConfig` field (e.g. ``comm_qubits_per_node``,
+        ``epr_success_probability``) and produces per-point system variants
+        of ``system`` via :func:`dataclasses.replace`.  Custom axes are the
+        outermost loops, benchmarks and designs the innermost (seeds vary
+        fastest of all).
+    num_runs / base_seed:
+        Default repetition seeds ``base_seed .. base_seed + num_runs - 1``
+        per cell; an explicit ``seed`` axis overrides both.
+    system:
+        Base hardware configuration (defaults to the paper's 32-qubit
+        system).
+    partition_method / partition_seed:
+        Partitioner configuration shared by every cell.
+    backend:
+        Execute-stage strategy (instance, registered name, or ``None`` for
+        serial).  Backends the study creates from a name / ``None`` are
+        closed by :meth:`close`; caller-provided instances stay open.
+    cache:
+        Shared compile-artifact cache (one is created if omitted), used by
+        every system variant of the study — a sweep therefore partitions
+        each benchmark once no matter how many system points it visits.
+    name:
+        Optional label stored in the result metadata.
+    """
+
+    def __init__(
+        self,
+        benchmarks: Union[None, str, Sequence[str]] = None,
+        designs: Union[None, str, DesignSpec,
+                       Sequence[Union[str, DesignSpec]]] = None,
+        *,
+        axes: Optional[AxesLike] = None,
+        num_runs: int = 1,
+        base_seed: int = 1,
+        system: Optional[SystemConfig] = None,
+        partition_method: str = "multilevel",
+        partition_seed: int = 0,
+        backend: BackendLike = None,
+        cache: Optional[ArtifactCache] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if num_runs < 1:
+            raise ConfigurationError("study needs at least one run")
+        self.name = name
+        self.num_runs = num_runs
+        self.base_seed = base_seed
+        self.system = system or SystemConfig()
+        self.partition_method = partition_method
+        self.partition_seed = partition_seed
+        self.cache = cache if cache is not None else ArtifactCache()
+
+        custom = _normalise_axes(axes)
+        self._benchmarks = self._benchmark_axis(benchmarks, custom)
+        self._designs = self._design_arg(designs, custom)
+        self._custom_axes = [a for a in custom
+                             if a.fields != ("benchmark",)
+                             and a.fields != ("design",)]
+        self._validate_axes()
+
+        self._backend_arg = backend
+        self._backend: Optional[ExecutionBackend] = None
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self._compilers: Dict[str, CellCompiler] = {}
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _benchmark_axis(benchmarks, custom: List[Axis]) -> List[str]:
+        explicit = [a for a in custom if a.fields == ("benchmark",)]
+        if len(explicit) > 1:
+            # These axes are lifted out of the grid, so GridSpec's
+            # duplicate-field check never sees them; dropping one silently
+            # would lose whole benchmarks from the results.
+            raise ConfigurationError("study has more than one 'benchmark' axis")
+        if benchmarks is None:
+            if not explicit:
+                raise ConfigurationError(
+                    "study needs benchmarks (argument or a 'benchmark' axis)"
+                )
+            return [str(v) for v in explicit[0].values]
+        if explicit:
+            raise ConfigurationError(
+                "pass benchmarks either as an argument or as an axis, not both"
+            )
+        names = [benchmarks] if isinstance(benchmarks, str) else list(benchmarks)
+        if not names:
+            raise ConfigurationError("study needs at least one benchmark")
+        return [str(name) for name in names]
+
+    @staticmethod
+    def _design_arg(designs, custom: List[Axis]):
+        explicit = [a for a in custom if a.fields == ("design",)]
+        if len(explicit) > 1:
+            raise ConfigurationError("study has more than one 'design' axis")
+        if explicit and designs is not None:
+            raise ConfigurationError(
+                "pass designs either as an argument or as an axis, not both"
+            )
+        if explicit:
+            return list(explicit[0].values)
+        return designs
+
+    def _design_values(self) -> List[Union[str, DesignSpec]]:
+        """The design axis values, resolved at expansion time.
+
+        ``None`` means every design registered *now* — late registrations
+        are picked up, unlike a default frozen at import time.
+        """
+        designs = self._designs
+        if designs is None:
+            return list(list_designs())
+        if isinstance(designs, (str, DesignSpec)):
+            designs = [designs]
+        values = list(designs)
+        if not values:
+            raise ConfigurationError("study needs at least one design")
+        seen: Dict[str, Union[str, DesignSpec]] = {}
+        for value in values:
+            name = (value.name if isinstance(value, DesignSpec)
+                    else str(value)).lower()
+            if name in seen and seen[name] != value:
+                # Records are keyed by design name; distinct variants under
+                # one name would silently pool their statistics.
+                raise ConfigurationError(
+                    f"two distinct design-axis values share the name "
+                    f"{name!r}; give variants unique names via "
+                    f"with_overrides(name=...)"
+                )
+            seen[name] = value
+        return values
+
+    def _validate_axes(self) -> None:
+        seed_axes = sum(1 for axis in self._custom_axes
+                        if axis.fields == ("seed",))
+        if seed_axes > 1:
+            # Seed axes are lifted out of the grid (they replace the
+            # repetition range), so GridSpec's duplicate-field check never
+            # sees them; reject duplicates here instead of dropping one.
+            raise ConfigurationError("study has more than one 'seed' axis")
+        for axis in self._custom_axes:
+            if "seed" in axis.fields and len(axis.fields) > 1:
+                raise ConfigurationError(
+                    "'seed' cannot be zipped with other fields; it replaces "
+                    "the base_seed/num_runs repetition range, which applies "
+                    "to every cell"
+                )
+            for index, field in enumerate(axis.fields):
+                if field in ("benchmark", "design"):
+                    raise ConfigurationError(
+                        f"{field!r} cannot be zipped with other fields; "
+                        f"pass it via the {field}s argument"
+                    )
+                if field in RESERVED_AXES:
+                    self._check_executor_values(axis, index, field)
+                    continue
+                if field not in _SYSTEM_FIELDS:
+                    raise ConfigurationError(
+                        f"unknown axis field {field!r}; reserved axes: "
+                        f"{', '.join(RESERVED_AXES)}; system fields: "
+                        f"{', '.join(_SYSTEM_FIELDS)}"
+                    )
+                for value in axis.values:
+                    item = value[index] if len(axis.fields) > 1 else value
+                    if isinstance(item, bool) or not isinstance(item,
+                                                                (int, float)):
+                        raise ConfigurationError(
+                            f"system axis {field!r} values must be numbers, "
+                            f"got {item!r}"
+                        )
+
+    @staticmethod
+    def _check_executor_values(axis: Axis, index: int, field: str) -> None:
+        """Type-check reserved-axis values so bad grids fail at build time,
+        not with a raw traceback deep inside execution."""
+        for value in axis.values:
+            item = value[index] if len(axis.fields) > 1 else value
+            if field == "adaptive_policy":
+                if not isinstance(item, AdaptivePolicy):
+                    raise ConfigurationError(
+                        f"'adaptive_policy' axis values must be "
+                        f"AdaptivePolicy instances, got {item!r}"
+                    )
+            elif field == "segment_length":
+                if item is not None and (isinstance(item, bool)
+                                         or not isinstance(item, int)):
+                    raise ConfigurationError(
+                        f"'segment_length' axis values must be integers "
+                        f"(or None for the design default), got {item!r}"
+                    )
+            elif field == "seed":
+                if isinstance(item, bool) or not isinstance(item, int):
+                    raise ConfigurationError(
+                        f"'seed' axis values must be integers, got {item!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # grid and plan
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> GridSpec:
+        """The full grid: custom axes (outermost), benchmark, design."""
+        axes = [
+            *(a for a in self._custom_axes if "seed" not in a.fields),
+            Axis("benchmark", self._benchmarks),
+            Axis("design", self._design_values()),
+        ]
+        return GridSpec(axes)
+
+    def seeds(self) -> List[int]:
+        """Seeds each cell is replayed under (seed axis or base range)."""
+        for axis in self._custom_axes:
+            if axis.fields == ("seed",):
+                return [int(v) for v in axis.values]
+        return [self.base_seed + index for index in range(self.num_runs)]
+
+    def _point_cell(self, point: Dict[str, Any],
+                    seeds: Tuple[int, ...]) -> PlanCell:
+        system_overrides = {
+            key: value for key, value in point.items()
+            if key in _SYSTEM_FIELDS
+        }
+        system = (replace(self.system, **system_overrides)
+                  if system_overrides else self.system)
+        params = {
+            key: value for key, value in point.items()
+            if key not in ("benchmark", "design")
+        }
+        return PlanCell(
+            benchmark=point["benchmark"],
+            design=point["design"],
+            system=system,
+            seeds=seeds,
+            segment_length=point.get("segment_length"),
+            adaptive_policy=point.get("adaptive_policy"),
+            params=params,
+        )
+
+    def plan(self) -> ExecutionPlan:
+        """Expand the grid into the lazy, deduplicated execution plan."""
+        grid = self.grid
+        seeds = tuple(self.seeds())  # identical for every cell; build once
+        return ExecutionPlan(self._point_cell(point, seeds)
+                             for point in grid.points())
+
+    # ------------------------------------------------------------------
+    # engine plumbing
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The resolved execution backend (created lazily)."""
+        if self._backend is None:
+            self._backend = get_backend(self._backend_arg)
+        return self._backend
+
+    def compiler_for(self, system: Optional[SystemConfig] = None) -> CellCompiler:
+        """The (cached) compile stage of one system variant.
+
+        Every compiler of the study shares :attr:`cache`, so artifacts that
+        do not depend on the varied fields — notably partitioned programs —
+        are reused across system variants.
+        """
+        system = system or self.system
+        key = fingerprint("study-system", system, self.partition_method,
+                          self.partition_seed)
+        compiler = self._compilers.get(key)
+        if compiler is None:
+            compiler = CellCompiler(
+                system=system,
+                partition_method=self.partition_method,
+                partition_seed=self.partition_seed,
+                cache=self.cache,
+            )
+            self._compilers[key] = compiler
+        return compiler
+
+    def compile_plan(self, plan: Optional[ExecutionPlan] = None
+                     ) -> List[CompiledCell]:
+        """Compile every plan cell (cache-served where possible), in order."""
+        plan = plan if plan is not None else self.plan()
+        return [
+            self.compiler_for(cell.system).compile(
+                cell.benchmark, cell.design,
+                segment_length=cell.segment_length,
+                adaptive_policy=cell.adaptive_policy,
+            )
+            for cell in plan
+        ]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, plan: Optional[ExecutionPlan] = None) -> ResultSet:
+        """Execute the study and return its flat result set.
+
+        The whole seed × cell grid is submitted to the backend as one flat
+        batch, so a parallel backend balances across every cell of every
+        system variant at once (the legacy sweep ran one system at a time).
+        Pass a pre-expanded ``plan`` to avoid expanding the grid twice.
+        """
+        plan = plan if plan is not None else self.plan()
+        compiled = self.compile_plan(plan)
+        tasks = [
+            ExecutionTask(compiled_cell, seed)
+            for compiled_cell, cell in zip(compiled, plan)
+            for seed in cell.seeds
+        ]
+        results = self.backend.execute(tasks)
+        records: List[RunRecord] = []
+        index = 0
+        for cell in plan:
+            params = {key: param_token(value)
+                      for key, value in cell.params.items()}
+            for _ in cell.seeds:
+                records.append(
+                    RunRecord.from_execution_result(results[index], params)
+                )
+                index += 1
+        return ResultSet(records, metadata=self.describe())
+
+    def run_cell(self, benchmark: str, design: Union[str, DesignSpec],
+                 system: Optional[SystemConfig] = None,
+                 seeds: Optional[Sequence[int]] = None):
+        """All repetitions of one ad-hoc cell, as raw execution results."""
+        compiled = self.compiler_for(system).compile(benchmark, design)
+        tasks = [ExecutionTask(compiled, seed)
+                 for seed in (seeds if seeds is not None else self.seeds())]
+        return self.backend.execute(tasks)
+
+    # ------------------------------------------------------------------
+    # description / persistence
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly study description (stored as result metadata).
+
+        Registered design names stay plain strings; explicit
+        :class:`DesignSpec` values (e.g. ablation overrides) are serialised
+        in full so :meth:`from_spec` re-runs the override, not the base
+        design of the same name.
+        """
+        designs = self._designs
+        if designs is None:
+            design_entries: Optional[List[Any]] = None
+        else:
+            values = ([designs] if isinstance(designs, (str, DesignSpec))
+                      else list(designs))
+            design_entries = [
+                jsonify(v) if isinstance(v, DesignSpec) else str(v)
+                for v in values
+            ]
+        return {
+            "name": self.name,
+            "benchmarks": list(self._benchmarks),
+            "designs": design_entries,
+            "axes": [axis.to_spec() for axis in
+                     (Axis(a.fields, jsonify(a.values))
+                      for a in self._custom_axes)],
+            "num_runs": self.num_runs,
+            "base_seed": self.base_seed,
+            "partition_method": self.partition_method,
+            "partition_seed": self.partition_seed,
+            "system": jsonify(self.system),
+        }
+
+    def to_spec(self) -> Dict[str, Any]:
+        """Alias of :meth:`describe` (the CLI spec-file format)."""
+        return self.describe()
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any],
+                  backend: BackendLike = None,
+                  cache: Optional[ArtifactCache] = None) -> "Study":
+        """Build a study from a :meth:`to_spec` / CLI JSON dictionary.
+
+        Only JSON-native axis values (numbers, strings, zipped lists) are
+        supported here; programmatic studies may additionally sweep
+        :class:`DesignSpec` / :class:`AdaptivePolicy` objects directly.
+        """
+        known = {"name", "benchmarks", "designs", "axes", "num_runs",
+                 "base_seed", "partition_method", "partition_seed", "system"}
+        unknown = set(spec) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown study spec keys: {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        system_spec = dict(spec.get("system") or {})
+        gate_times = system_spec.pop("gate_times", None)
+        fidelities = system_spec.pop("fidelities", None)
+        unknown_fields = set(system_spec) - set(_SYSTEM_FIELDS)
+        if unknown_fields:
+            raise ConfigurationError(
+                f"unknown system fields in spec: "
+                f"{', '.join(sorted(unknown_fields))}"
+            )
+        system = SystemConfig(
+            **system_spec,
+            **({"gate_times": GateTimes(**gate_times)} if gate_times else {}),
+            **({"fidelities": GateFidelities(**fidelities)}
+               if fidelities else {}),
+        )
+        axes = [
+            cls._revive_axis(axis if isinstance(axis, Axis)
+                             else Axis.from_spec(axis))
+            for axis in spec.get("axes", [])
+        ]
+        designs = spec.get("designs")
+        if designs is not None:
+            if isinstance(designs, (str, Mapping)):
+                designs = [designs]
+            designs = [cls._design_from_entry(entry) for entry in designs]
+        # Zipped axis values arrive from JSON as lists; Axis normalises them.
+        return cls(
+            benchmarks=spec.get("benchmarks"),
+            designs=designs,
+            axes=axes,
+            num_runs=int(spec.get("num_runs", 1)),
+            base_seed=int(spec.get("base_seed", 1)),
+            system=system,
+            partition_method=spec.get("partition_method", "multilevel"),
+            partition_seed=int(spec.get("partition_seed", 0)),
+            backend=backend,
+            cache=cache,
+            name=spec.get("name"),
+        )
+
+    @staticmethod
+    def _revive_axis(axis: Axis) -> Axis:
+        """Rebuild rich axis values that describe() serialised to dicts.
+
+        An ``adaptive_policy`` axis (possibly zipped with other fields)
+        round-trips through its field dict; leaving the dicts in place
+        would crash deep inside execution, so they are revived here (and
+        anything unexpected fails Study validation at load time).
+        """
+        if "adaptive_policy" not in axis.fields:
+            return axis
+        position = axis.fields.index("adaptive_policy")
+
+        def revive(item):
+            return AdaptivePolicy(**item) if isinstance(item, Mapping) else item
+
+        try:
+            if len(axis.fields) == 1:
+                values = [revive(value) for value in axis.values]
+            else:
+                values = [
+                    tuple(revive(item) if index == position else item
+                          for index, item in enumerate(value))
+                    for value in axis.values
+                ]
+        except TypeError as error:
+            raise ConfigurationError(
+                f"invalid adaptive_policy axis value in spec: {error}"
+            ) from None
+        return Axis(axis.fields, values)
+
+    @staticmethod
+    def _design_from_entry(entry: Union[str, Mapping[str, Any]]
+                           ) -> Union[str, DesignSpec]:
+        """Rebuild one spec-file design entry (name or serialised spec)."""
+        if isinstance(entry, str):
+            return entry
+        from repro.entanglement.attempts import AttemptPolicy
+
+        fields = dict(entry)
+        policy = fields.get("attempt_policy")
+        if isinstance(policy, str):
+            fields["attempt_policy"] = AttemptPolicy[policy]
+        try:
+            return DesignSpec(**fields)
+        except TypeError as error:
+            raise ConfigurationError(
+                f"invalid design entry in spec: {error}"
+            ) from None
+
+    @classmethod
+    def from_experiment_config(cls, config, backend: BackendLike = None,
+                               cache: Optional[ArtifactCache] = None) -> "Study":
+        """Build a study from a legacy :class:`ExperimentConfig`."""
+        return cls(
+            benchmarks=list(config.benchmarks),
+            designs=list(config.designs),
+            num_runs=config.num_runs,
+            base_seed=config.base_seed,
+            system=config.system,
+            partition_seed=config.partition_seed,
+            backend=backend,
+            cache=cache,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the backend if this study created it."""
+        if self._backend is not None and self._owns_backend:
+            self._backend.close()
+            self._backend = None
+
+    def __enter__(self) -> "Study":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"Study(benchmarks={self._benchmarks}, "
+                f"axes={[tuple(a.fields) for a in self._custom_axes]}, "
+                f"num_runs={self.num_runs})")

@@ -133,3 +133,32 @@ class TestRegistry:
         spec = get_benchmark("QFT-32")
         assert spec.paper_remote_2q == 256
         assert spec.paper_local_2q == 240
+
+
+class TestBenchmarkFamilies:
+    """Names beyond Table I are synthesised from the three families."""
+
+    def test_family_members_build(self):
+        for name, qubits in (("TLIM-16", 16), ("QFT-16", 16),
+                             ("QAOA-r4-16", 16), ("QAOA-r6-24", 24)):
+            circuit = build_benchmark(name)
+            assert circuit.num_qubits == qubits
+            assert circuit.name == name
+
+    def test_family_lookup_case_insensitive_and_memoised(self):
+        assert get_benchmark("qaoa-r4-16") is get_benchmark("QAOA-r4-16")
+
+    def test_table1_names_keep_registry_entries(self):
+        # Registry entries (with their paper columns) win over synthesis.
+        assert get_benchmark("QAOA-r4-32").paper_remote_2q == 12
+
+    def test_families_not_listed(self):
+        build_benchmark("TLIM-16")
+        assert "TLIM-16" not in list_benchmarks()
+
+    def test_invalid_family_instance_rejected(self):
+        with pytest.raises(BenchmarkError):
+            build_benchmark("QFT-0")
+        with pytest.raises(BenchmarkError):
+            # 3-regular graph on 3 vertices is infeasible.
+            build_benchmark("QAOA-r3-3")

@@ -1,0 +1,198 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import json
+
+import pytest
+
+from repro.study import ResultSet
+from repro.study.cli import main, parse_axis
+from repro.study.grid import Axis
+
+SMALL_SYSTEM_FLAGS = [
+    "--data-qubits", "16", "--comm-qubits", "4", "--buffer-qubits", "4",
+]
+
+
+class TestParseAxis:
+    def test_single_field(self):
+        axis = parse_axis("epr_success_probability=0.2,0.4")
+        assert axis == Axis("epr_success_probability", [0.2, 0.4])
+
+    def test_zipped_fields(self):
+        axis = parse_axis("comm_qubits_per_node,buffer_qubits_per_node=4:4,8:8")
+        assert axis.fields == ("comm_qubits_per_node", "buffer_qubits_per_node")
+        assert axis.values == ((4, 4), (8, 8))
+
+    def test_non_numeric_values_stay_strings(self):
+        axis = parse_axis("benchmark=TLIM-32,QFT-32")
+        assert axis.values == ("TLIM-32", "QFT-32")
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            parse_axis("no-equals-sign")
+        with pytest.raises(ValueError):
+            parse_axis("a,b=1:2,3")
+
+
+class TestRunCommand:
+    def test_run_writes_loadable_json(self, tmp_path, capsys):
+        out = tmp_path / "rs.json"
+        code = main(["run", "--benchmark", "TLIM-32", "--design", "ideal",
+                     "--runs", "2", *SMALL_SYSTEM_FLAGS,
+                     "--out", str(out)])
+        assert code == 0
+        reloaded = ResultSet.load(out)
+        assert len(reloaded) == 2
+        assert reloaded.benchmarks() == ["TLIM-32"]
+        assert "mean depth" in capsys.readouterr().out
+
+    def test_run_family_benchmark(self, tmp_path):
+        out = tmp_path / "rs.json"
+        code = main(["run", "--benchmark", "QAOA-r4-16", "--design", "ideal",
+                     "--runs", "1", "--quiet", "--out", str(out)])
+        assert code == 0
+        assert ResultSet.load(out).benchmarks() == ["QAOA-r4-16"]
+
+    def test_run_csv_output(self, tmp_path):
+        out = tmp_path / "rs.csv"
+        main(["run", "--benchmark", "TLIM-32", "--design", "ideal",
+              "--runs", "1", "--quiet", *SMALL_SYSTEM_FLAGS,
+              "--out", str(out)])
+        header = out.read_text().splitlines()[0]
+        assert header.startswith("benchmark,design,seed,")
+
+    def test_unknown_benchmark_exits_nonzero(self, capsys):
+        code = main(["run", "--benchmark", "NOPE-1", "--runs", "1"])
+        assert code == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_missing_benchmark_exits_nonzero(self, capsys):
+        code = main(["run", "--runs", "1"])
+        assert code == 2
+        assert "no benchmark" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_axis_sweep(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main(["sweep", "--benchmark", "TLIM-32", "--design", "ideal",
+                     "--design", "adapt_buf", "--runs", "1",
+                     *SMALL_SYSTEM_FLAGS,
+                     "--axis",
+                     "comm_qubits_per_node,buffer_qubits_per_node=4:4,8:8",
+                     "--quiet", "--out", str(out)])
+        assert code == 0
+        results = ResultSet.load(out)
+        assert len(results) == 4
+        assert sorted(results.group_by("comm_qubits_per_node")) == [4, 8]
+
+    def test_spec_file_sweep(self, tmp_path):
+        spec = {
+            "benchmarks": ["TLIM-32"],
+            "designs": ["ideal"],
+            "num_runs": 1,
+            "system": {"data_qubits_per_node": 16,
+                       "comm_qubits_per_node": 4,
+                       "buffer_qubits_per_node": 4},
+            "axes": [{"fields": ["epr_success_probability"],
+                      "values": [0.2, 0.8]}],
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        out = tmp_path / "rs.json"
+        code = main(["sweep", "--spec", str(spec_path), "--quiet",
+                     "--out", str(out)])
+        assert code == 0
+        results = ResultSet.load(out)
+        assert results.values("epr_success_probability") == [0.2, 0.8]
+
+    def test_spec_with_benchmark_axis(self, tmp_path):
+        spec = {
+            "designs": ["ideal"],
+            "num_runs": 1,
+            "system": {"data_qubits_per_node": 16,
+                       "comm_qubits_per_node": 4,
+                       "buffer_qubits_per_node": 4},
+            "axes": [{"fields": ["benchmark"],
+                      "values": ["TLIM-32", "QFT-32"]}],
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        out = tmp_path / "rs.json"
+        assert main(["sweep", "--spec", str(spec_path), "--quiet",
+                     "--out", str(out)]) == 0
+        assert ResultSet.load(out).benchmarks() == ["TLIM-32", "QFT-32"]
+
+    def test_benchmark_flag_replaces_spec_benchmark_axis(self, tmp_path):
+        spec = {
+            "designs": ["ideal"],
+            "num_runs": 1,
+            "system": {"data_qubits_per_node": 16,
+                       "comm_qubits_per_node": 4,
+                       "buffer_qubits_per_node": 4},
+            "axes": [{"fields": ["benchmark"],
+                      "values": ["TLIM-32", "QFT-32"]}],
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        out = tmp_path / "rs.json"
+        assert main(["sweep", "--spec", str(spec_path), "--benchmark",
+                     "TLIM-16", "--quiet", "--out", str(out)]) == 0
+        assert ResultSet.load(out).benchmarks() == ["TLIM-16"]
+
+    def test_benchmark_axis_on_flags_path(self, tmp_path):
+        out = tmp_path / "rs.json"
+        assert main(["sweep", "--axis", "benchmark=TLIM-32,QFT-32",
+                     "--design", "ideal", "--runs", "1",
+                     *SMALL_SYSTEM_FLAGS, "--quiet", "--out", str(out)]) == 0
+        assert ResultSet.load(out).benchmarks() == ["TLIM-32", "QFT-32"]
+
+    def test_flags_override_spec(self, tmp_path):
+        spec = {"benchmarks": ["TLIM-32"], "designs": ["ideal"],
+                "num_runs": 5,
+                "system": {"data_qubits_per_node": 16,
+                           "comm_qubits_per_node": 4,
+                           "buffer_qubits_per_node": 4}}
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        out = tmp_path / "rs.json"
+        main(["sweep", "--spec", str(spec_path), "--runs", "1", "--quiet",
+              "--out", str(out)])
+        assert len(ResultSet.load(out)) == 1
+
+    def test_runs_flag_replaces_spec_seed_axis(self, tmp_path):
+        spec = {"benchmarks": ["TLIM-32"], "designs": ["ideal"],
+                "system": {"data_qubits_per_node": 16,
+                           "comm_qubits_per_node": 4,
+                           "buffer_qubits_per_node": 4},
+                "axes": [{"fields": ["seed"], "values": [5, 6]}]}
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        out = tmp_path / "rs.json"
+        main(["sweep", "--spec", str(spec_path), "--runs", "3", "--quiet",
+              "--out", str(out)])
+        results = ResultSet.load(out)
+        assert len(results) == 3  # the flag wins over the spec's seed axis
+        assert results.values("seed") == [1, 2, 3]
+
+    def test_bad_spec_file_exits_nonzero(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"benchmarks": ["TLIM-32"],
+                                         "warp": 9}))
+        assert main(["sweep", "--spec", str(spec_path)]) == 2
+        assert "unknown study spec keys" in capsys.readouterr().err
+
+
+class TestListCommands:
+    def test_list_benchmarks(self, capsys):
+        assert main(["list-benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "TLIM-32" in out and "QAOA-r8-64" in out
+        assert "QAOA-r4-16" in out  # family hint
+
+    def test_list_designs(self, capsys):
+        assert main(["list-designs"]) == 0
+        out = capsys.readouterr().out
+        for design in ("original", "sync_buf", "async_buf", "adapt_buf",
+                       "init_buf", "ideal"):
+            assert design in out
