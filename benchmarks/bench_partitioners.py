@@ -1,0 +1,91 @@
+"""Partitioner benchmark — wall-clock and cut quality per algorithm.
+
+Runs every registered real partitioning algorithm (the ``precomputed``
+passthrough is skipped) over the Table I benchmark families and reports, per
+(benchmark, partitioner) cell:
+
+* **partition time** — mean wall-clock of partitioning the interaction
+  graph (the compile-stage cost that a ``partition_method`` axis multiplies
+  across a study), and
+* **cut quality** — the cut weight (= remote two-qubit gates before
+  commutation-aware scheduling), the resulting remote fraction, and the
+  block imbalance.
+
+Emits ``BENCH_partitioners.json`` next to the repository root so runs can be
+archived and compared.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import emit, repetitions
+from repro.benchmarks import build_benchmark
+from repro.partitioning import (
+    InteractionGraph,
+    distribute_circuit,
+    get_partitioner,
+    list_partitioners,
+)
+
+BENCHMARKS = ("TLIM-32", "QAOA-r4-32", "QAOA-r8-32", "QFT-32")
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_partitioners.json"
+
+
+def test_partitioner_benchmark():
+    """Time and score every algorithm on every benchmark family, emit JSON."""
+    reps = repetitions(default=3)
+    algorithms = [name for name in list_partitioners()
+                  if name != "precomputed"]
+
+    cells = []
+    for benchmark in BENCHMARKS:
+        circuit = build_benchmark(benchmark)
+        graph = InteractionGraph.from_circuit(circuit)
+        for name in algorithms:
+            partitioner = get_partitioner(name)
+            start = time.perf_counter()
+            for repetition in range(reps):
+                partition = partitioner.partition(graph, num_blocks=2, seed=0)
+            partition_ms = (time.perf_counter() - start) / reps * 1e3
+            program = distribute_circuit(circuit, method=name, seed=0)
+            cells.append({
+                "benchmark": benchmark,
+                "partitioner": name,
+                "partition_ms": partition_ms,
+                "cut_weight": partition.cut_weight(graph),
+                "imbalance": partition.imbalance(),
+                "remote_2q": program.remote_gate_count(),
+                "remote_fraction": program.remote_fraction(),
+            })
+
+    payload = {
+        "benchmarks": list(BENCHMARKS),
+        "partitioners": algorithms,
+        "repetitions": reps,
+        "cells": cells,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"{'benchmark':<11} {'partitioner':<20} {'time':>9} "
+        f"{'cut':>6} {'remote%':>8} {'imbal':>6}"
+    ]
+    for cell in cells:
+        lines.append(
+            f"{cell['benchmark']:<11} {cell['partitioner']:<20} "
+            f"{cell['partition_ms']:7.1f}ms {cell['cut_weight']:6.0f} "
+            f"{cell['remote_fraction'] * 100:7.1f}% "
+            f"{cell['imbalance']:6.2f}"
+        )
+    lines.append(f"written: {OUTPUT_PATH.name}")
+    emit("Partitioners — wall-clock and cut quality", "\n".join(lines))
+
+    # Sanity: every algorithm produced a feasible two-block partition, and
+    # the METIS-style baseline is never beaten by the contiguous strawman.
+    by_cell = {(c["benchmark"], c["partitioner"]): c for c in cells}
+    for benchmark in BENCHMARKS:
+        assert by_cell[(benchmark, "multilevel")]["cut_weight"] <= \
+            by_cell[(benchmark, "contiguous")]["cut_weight"]

@@ -4,8 +4,12 @@ The package implements the paper's full pipeline from scratch:
 
 * a gate-level quantum-circuit IR with commutation-aware rewrites,
 * the Table I benchmark generators (TLIM, QAOA-MaxCut, QFT),
-* a METIS-style multilevel graph partitioner used as the distribution baseline,
-* a DQC hardware model with data / communication / buffer qubits,
+* a pluggable partitioner registry (METIS-style multilevel baseline plus
+  Kernighan-Lin, Fiduccia-Mattheyses, spectral, contiguous, and a
+  ``precomputed`` passthrough; see :mod:`repro.api`),
+* a DQC hardware model with data / communication / buffer qubits and a
+  registry of interconnect topologies (``all_to_all``, ``line``, ``ring``,
+  ``star``, ``grid-RxC``),
 * a stochastic heralded-entanglement-generation simulator with synchronous or
   asynchronous attempts, buffering, and cutoff policies,
 * a density-matrix based gate-teleportation fidelity model,
@@ -55,8 +59,22 @@ from repro.engine import (
     list_backends,
     register_backend,
 )
-from repro.hardware import DQCArchitecture, two_node_architecture
-from repro.partitioning import DistributedProgram, distribute_circuit
+from repro.hardware import (
+    DQCArchitecture,
+    Topology,
+    get_topology,
+    list_topologies,
+    register_topology,
+    two_node_architecture,
+)
+from repro.partitioning import (
+    DistributedProgram,
+    Partitioner,
+    distribute_circuit,
+    get_partitioner,
+    list_partitioners,
+    register_partitioner,
+)
 from repro.runtime import DesignExecutor, ExecutionResult, execute_design, list_designs
 from repro.study import (
     Axis,
@@ -75,8 +93,16 @@ __all__ = [
     "list_benchmarks",
     "distribute_circuit",
     "DistributedProgram",
+    "Partitioner",
+    "get_partitioner",
+    "list_partitioners",
+    "register_partitioner",
     "DQCArchitecture",
     "two_node_architecture",
+    "Topology",
+    "get_topology",
+    "list_topologies",
+    "register_topology",
     "DesignExecutor",
     "execute_design",
     "ExecutionResult",

@@ -1,0 +1,82 @@
+"""Stable extension facade: every pluggable registry behind one import.
+
+The library is organised around string-keyed registries — benchmarks,
+designs, execution backends, partitioning strategies, and interconnect
+topologies.  This module re-exports each registry's lookup / listing /
+registration functions so third-party code has a single, entry-point-style
+integration surface::
+
+    from repro import api
+
+    class AnnealedPartitioner(api.Partitioner):
+        name = "annealed"
+        supports_k_way = True
+
+        def partition(self, graph, num_blocks=2, seed=0):
+            ...
+
+    api.register_partitioner(AnnealedPartitioner())
+    api.register_topology(api.Topology("dumbbell", my_links_builder))
+
+Once registered, the names work everywhere a built-in does:
+``SystemConfig(partition_method="annealed", topology="dumbbell")``, study
+axes (``Axis("partition_method", [...])``), spec files, and the
+``python -m repro`` CLI.
+"""
+
+from repro.benchmarks.registry import (
+    BenchmarkSpec,
+    build_benchmark,
+    get_benchmark,
+    list_benchmarks,
+)
+from repro.engine.backends import (
+    ExecutionBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.hardware.topology import (
+    Topology,
+    get_topology,
+    list_topologies,
+    register_topology,
+    validate_remote_pairs,
+)
+from repro.partitioning.registry import (
+    Partitioner,
+    PrecomputedPartitioner,
+    get_partitioner,
+    list_partitioners,
+    register_partitioner,
+)
+from repro.runtime.designs import DesignSpec, get_design, list_designs
+
+__all__ = [
+    # partitioners
+    "Partitioner",
+    "PrecomputedPartitioner",
+    "get_partitioner",
+    "list_partitioners",
+    "register_partitioner",
+    # topologies
+    "Topology",
+    "get_topology",
+    "list_topologies",
+    "register_topology",
+    "validate_remote_pairs",
+    # benchmarks
+    "BenchmarkSpec",
+    "get_benchmark",
+    "build_benchmark",
+    "list_benchmarks",
+    # designs
+    "DesignSpec",
+    "get_design",
+    "list_designs",
+    # execution backends
+    "ExecutionBackend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+]

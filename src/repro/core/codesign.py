@@ -50,8 +50,10 @@ class DQCSimulator:
         Hardware configuration; defaults to the paper's 2-node, 32-data-qubit
         system with 10 communication and 10 buffer qubits per node.
     partition_method:
-        Partitioning algorithm used to split circuits over nodes
-        (``"multilevel"`` is the METIS-baseline substitute).
+        Optional override of ``system.partition_method``: any name from the
+        partitioner registry (``"multilevel"`` is the METIS-baseline
+        substitute) or a :class:`~repro.partitioning.registry.Partitioner`
+        instance.
     partition_seed:
         Seed of the partitioner (partitioning is deterministic per seed).
     compiler:
@@ -69,7 +71,7 @@ class DQCSimulator:
     """
 
     def __init__(self, system: Optional[SystemConfig] = None,
-                 partition_method: str = "multilevel",
+                 partition_method=None,
                  partition_seed: int = 0,
                  compiler: Optional[CellCompiler] = None) -> None:
         self._compiler = compiler or CellCompiler(
@@ -171,5 +173,6 @@ class DQCSimulator:
                 "psucc": self.system.epr_success_probability,
             },
             "partition_method": self.partition_method,
+            "topology": self.system.topology,
             "designs": list_designs(),
         }

@@ -13,8 +13,10 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.hardware.architecture import DQCArchitecture, two_node_architecture
 from repro.hardware.parameters import GateFidelities, GateTimes, PhysicalConstants
+from repro.hardware.topology import get_topology
+from repro.partitioning.registry import get_partitioner
 from repro.runtime.designs import list_designs
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, PartitionError, TopologyError
 
 __all__ = ["SystemConfig", "ExperimentConfig", "PAPER_32Q_SYSTEM", "PAPER_64Q_SYSTEM"]
 
@@ -38,6 +40,15 @@ class SystemConfig:
         Per-attempt entanglement generation success probability ``psucc``.
     decoherence_time_us / local_cnot_time_ns:
         Physical constants defining the decoherence rate.
+    partition_method:
+        Name of the registered partitioning strategy used to distribute
+        circuits over the nodes (see :mod:`repro.partitioning.registry`;
+        ``"multilevel"`` is the paper's METIS baseline).
+    topology:
+        Name of the registered interconnect topology (see
+        :mod:`repro.hardware.topology`; ``"all_to_all"`` reproduces the
+        paper's fully connected setting).  Both names are validated at
+        construction so sweeps fail fast on typos.
     """
 
     num_nodes: int = 2
@@ -49,6 +60,8 @@ class SystemConfig:
     local_cnot_time_ns: float = 300.0
     gate_times: GateTimes = field(default_factory=GateTimes)
     fidelities: GateFidelities = field(default_factory=GateFidelities)
+    partition_method: str = "multilevel"
+    topology: str = "all_to_all"
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
@@ -59,6 +72,21 @@ class SystemConfig:
             raise ConfigurationError("each node needs at least one communication qubit")
         if self.buffer_qubits_per_node < 0:
             raise ConfigurationError("buffer qubit count must be non-negative")
+        try:
+            partitioner = get_partitioner(self.partition_method)
+        except PartitionError as error:
+            raise ConfigurationError(str(error)) from None
+        if self.num_nodes > 2 and not partitioner.supports_k_way:
+            raise ConfigurationError(
+                f"partitioner {partitioner.name!r} only supports bisection "
+                f"but the system has {self.num_nodes} nodes; use a k-way "
+                f"strategy such as 'multilevel'"
+            )
+        try:
+            # links() also validates the node count (e.g. grid-2x3 needs 6).
+            get_topology(self.topology).links(self.num_nodes)
+        except TopologyError as error:
+            raise ConfigurationError(str(error)) from None
 
     @property
     def total_data_qubits(self) -> int:
@@ -66,12 +94,17 @@ class SystemConfig:
         return self.num_nodes * self.data_qubits_per_node
 
     def build_architecture(self) -> DQCArchitecture:
-        """Materialise the :class:`DQCArchitecture` for this configuration."""
+        """Materialise the :class:`DQCArchitecture` for this configuration.
+
+        The interconnect ``links`` come from the registered :attr:`topology`
+        (``None`` for ``all_to_all``, reproducing the paper's setting).
+        """
         physics = PhysicalConstants(
             local_cnot_time_ns=self.local_cnot_time_ns,
             decoherence_time_us=self.decoherence_time_us,
             epr_success_probability=self.epr_success_probability,
         )
+        links = get_topology(self.topology).links(self.num_nodes)
         if self.num_nodes == 2:
             return two_node_architecture(
                 data_qubits_per_node=self.data_qubits_per_node,
@@ -80,6 +113,7 @@ class SystemConfig:
                 gate_times=self.gate_times,
                 fidelities=self.fidelities,
                 physics=physics,
+                links=links,
             )
         from repro.hardware.node import QPUNode
 
@@ -89,7 +123,8 @@ class SystemConfig:
             for i in range(self.num_nodes)
         ]
         return DQCArchitecture(nodes=nodes, gate_times=self.gate_times,
-                               fidelities=self.fidelities, physics=physics)
+                               fidelities=self.fidelities, physics=physics,
+                               links=links)
 
     def with_comm_and_buffer(self, comm: int, buffer: int) -> "SystemConfig":
         """Copy with different communication / buffer qubit counts (Fig. 7)."""

@@ -21,7 +21,9 @@ from repro.core.config import SystemConfig
 from repro.engine.cache import ArtifactCache, fingerprint
 from repro.exceptions import ConfigurationError
 from repro.hardware.architecture import DQCArchitecture
+from repro.hardware.topology import validate_remote_pairs
 from repro.partitioning.assigner import DistributedProgram, distribute_circuit
+from repro.partitioning.registry import get_partitioner
 from repro.runtime.designs import DesignSpec, get_design
 from repro.runtime.executor import DesignExecutor
 from repro.runtime.metrics import ExecutionResult
@@ -82,21 +84,36 @@ class CellCompiler:
     ----------
     system:
         Hardware configuration (defaults to the paper's 32-qubit system).
-    partition_method / partition_seed:
-        Partitioner configuration; partitioning is deterministic per seed.
+        Carries the partitioning strategy (``system.partition_method``) and
+        the interconnect topology (``system.topology``).
+    partition_method:
+        Optional override of ``system.partition_method``: a registered name,
+        alias, or :class:`~repro.partitioning.registry.Partitioner`
+        instance.  ``None`` (default) uses the system's strategy.
+    partition_seed:
+        Partitioner seed; partitioning is deterministic per seed.
     cache:
         Artifact cache, shareable across compilers.  Programs are keyed by
         (benchmark, partitioning) only — independent of communication /
-        buffer qubit counts — so a communication-qubit sweep reuses the
-        partition and recompiles just the schedule lookup tables.
+        buffer qubit counts and of the interconnect topology — so sweeps
+        over those axes reuse the partition and recompile just the schedule
+        lookup tables.
     """
 
     def __init__(self, system: Optional[SystemConfig] = None,
-                 partition_method: str = "multilevel",
+                 partition_method=None,
                  partition_seed: int = 0,
                  cache: Optional[ArtifactCache] = None) -> None:
         self.system = system or SystemConfig()
-        self.partition_method = partition_method
+        method = (partition_method if partition_method is not None
+                  else self.system.partition_method)
+        self.partitioner = get_partitioner(method)
+        # Canonical name: aliases ("kl") fingerprint like their targets.
+        self.partition_method = self.partitioner.name
+        # Cache keys use the token, not the bare name, so stateful
+        # strategies (e.g. PrecomputedPartitioner) never collide in a
+        # shared artifact cache.
+        self._partition_token = self.partitioner.cache_token()
         self.partition_seed = partition_seed
         self.cache = cache if cache is not None else ArtifactCache()
         self._architecture: Optional[DQCArchitecture] = None
@@ -114,7 +131,7 @@ class CellCompiler:
         """Cache key of a named benchmark's partitioned program."""
         return fingerprint(
             "program", benchmark.lower(), self.system.num_nodes,
-            self.partition_method, self.partition_seed,
+            self._partition_token, self.partition_seed,
         )
 
     def circuit_key(self, circuit: QuantumCircuit) -> str:
@@ -126,7 +143,7 @@ class CellCompiler:
         """
         return fingerprint(
             "circuit", circuit.name, circuit.num_qubits, tuple(circuit.gates),
-            self.system.num_nodes, self.partition_method, self.partition_seed,
+            self.system.num_nodes, self._partition_token, self.partition_seed,
         )
 
     def _program_token(self, circuit: CircuitLike,
@@ -177,7 +194,7 @@ class CellCompiler:
         return distribute_circuit(
             circuit,
             num_nodes=self.system.num_nodes,
-            method=self.partition_method,
+            method=self.partitioner,
             seed=self.partition_seed,
         )
 
@@ -204,6 +221,17 @@ class CellCompiler:
         cell = self.cache.get("cell", key)
         if cell is not None:
             return cell
+
+        if not spec.ideal:
+            # Fail at compile time, with the topology named, rather than deep
+            # inside the executor.  Ideal (monolithic) cells run every gate
+            # locally and need no interconnect.  A cell-cache hit above was
+            # validated when first compiled (the key covers system+program).
+            validate_remote_pairs(
+                self.architecture, program.remote_pairs(),
+                context=(f"program {program.name!r} under topology "
+                         f"{self.system.topology!r}"),
+            )
 
         lookup: Optional[ScheduleLookupTable] = None
         if spec.adaptive_scheduling:
@@ -237,6 +265,6 @@ class CellCompiler:
                   spec: DesignSpec, segment_length: Optional[int],
                   policy: AdaptivePolicy) -> str:
         return fingerprint(
-            "cell", self.system, self.partition_method, self.partition_seed,
+            "cell", self.system, self._partition_token, self.partition_seed,
             self._program_token(circuit, program), spec, segment_length, policy,
         )

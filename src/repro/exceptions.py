@@ -32,6 +32,10 @@ class ArchitectureError(ReproError):
     """Raised for invalid hardware architecture configurations."""
 
 
+class TopologyError(ArchitectureError):
+    """Raised for invalid, mismatched, or disconnected interconnect topologies."""
+
+
 class EntanglementError(ReproError):
     """Raised for invalid entanglement-generation configurations or states."""
 

@@ -14,10 +14,22 @@ from repro.hardware.parameters import (
     PhysicalConstants,
 )
 from repro.hardware.qubit import PhysicalQubit, QubitRole
+from repro.hardware.topology import (
+    Topology,
+    get_topology,
+    list_topologies,
+    register_topology,
+    validate_remote_pairs,
+)
 
 __all__ = [
     "DQCArchitecture",
     "two_node_architecture",
+    "Topology",
+    "get_topology",
+    "list_topologies",
+    "register_topology",
+    "validate_remote_pairs",
     "QPUNode",
     "PhysicalQubit",
     "QubitRole",

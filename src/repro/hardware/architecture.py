@@ -22,7 +22,7 @@ from repro.hardware.parameters import (
     GateTimes,
     PhysicalConstants,
 )
-from repro.exceptions import ArchitectureError
+from repro.exceptions import ArchitectureError, TopologyError
 
 __all__ = ["DQCArchitecture", "two_node_architecture"]
 
@@ -47,6 +47,11 @@ class DQCArchitecture:
     links:
         Optional explicit list of node pairs that share an optical
         interconnect; ``None`` means all-to-all connectivity between nodes.
+        Links are normalised at construction: reversed and duplicate pairs
+        collapse into one sorted list of canonical ``(a, b)`` pairs with
+        ``a < b``, so :meth:`node_pairs` and the entanglement service see a
+        single representation.  A link list that leaves some node unreachable
+        raises :class:`~repro.exceptions.TopologyError`.
     """
 
     nodes: List[QPUNode]
@@ -62,11 +67,38 @@ class DQCArchitecture:
         if indices != list(range(len(self.nodes))):
             raise ArchitectureError("node indices must be 0..N-1 in order")
         if self.links is not None:
+            canonical = set()
             for a, b in self.links:
                 if a == b or not (0 <= a < len(self.nodes)) or not (
                     0 <= b < len(self.nodes)
                 ):
                     raise ArchitectureError(f"invalid interconnect link ({a}, {b})")
+                canonical.add((min(a, b), max(a, b)))
+            self.links = sorted(canonical)
+            self._check_connected()
+
+    def _check_connected(self) -> None:
+        """Reject link lists that leave part of the machine unreachable."""
+        if len(self.nodes) < 2:
+            return
+        neighbors: Dict[int, List[int]] = {i: [] for i in range(len(self.nodes))}
+        for a, b in self.links or ():
+            neighbors[a].append(b)
+            neighbors[b].append(a)
+        reached = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for peer in neighbors[node]:
+                if peer not in reached:
+                    reached.add(peer)
+                    frontier.append(peer)
+        unreachable = sorted(set(range(len(self.nodes))) - reached)
+        if unreachable:
+            raise TopologyError(
+                f"interconnect is disconnected: node(s) {unreachable} are "
+                f"unreachable from node 0 over links {self.links}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -104,7 +136,7 @@ class DQCArchitecture:
     def node_pairs(self) -> List[NodePair]:
         """All connected node pairs (a < b)."""
         if self.links is not None:
-            return sorted({(min(a, b), max(a, b)) for a, b in self.links})
+            return list(self.links)  # canonicalised in __post_init__
         return [
             (a, b)
             for a in range(self.num_nodes)
@@ -177,12 +209,15 @@ def two_node_architecture(
     gate_times: Optional[GateTimes] = None,
     fidelities: Optional[GateFidelities] = None,
     physics: Optional[PhysicalConstants] = None,
+    links: Optional[List[NodePair]] = None,
 ) -> DQCArchitecture:
     """Build the paper's 2-node evaluation architecture.
 
     Defaults correspond to the 32-data-qubit configuration of Sec. V-A
     (16 fully connected data qubits, 10 communication and 10 buffer qubits
     per node); the 64-qubit experiments of Sec. V-C use 32/20/20.
+    ``links=None`` keeps the all-to-all encoding (for 2 nodes, equivalent to
+    the single explicit link ``(0, 1)``).
     """
     nodes = [
         QPUNode(0, data_qubits_per_node, comm_qubits_per_node, buffer_qubits_per_node),
@@ -193,4 +228,5 @@ def two_node_architecture(
         gate_times=gate_times or GateTimes(),
         fidelities=fidelities or GateFidelities(),
         physics=physics or PhysicalConstants(),
+        links=links,
     )

@@ -1,0 +1,230 @@
+"""Interconnect topology registry.
+
+A :class:`Topology` names a rule for materialising the optical interconnect
+``links`` of an N-node :class:`~repro.hardware.architecture.DQCArchitecture`.
+The registry follows the string-keyed idiom of
+:mod:`repro.benchmarks.registry` and :mod:`repro.runtime.designs`: the
+built-in topologies (``all_to_all``, ``line``, ``ring``, ``star``) resolve by
+name, the ``grid-RxC`` *family* synthesises rectangular meshes on demand
+(``grid-2x3`` is a 2-row, 3-column mesh over 6 nodes), and third parties add
+their own via :func:`register_topology` (re-exported by :mod:`repro.api`).
+
+The paper's evaluation uses 2 nodes, where every topology degenerates to the
+single link ``(0, 1)``; the registry is what lets studies sweep richer
+interconnects at 3+ nodes.  :func:`validate_remote_pairs` is the companion
+check used by the compile stage: a partitioned program is only executable if
+every node pair its remote gates touch is actually linked.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import TopologyError
+
+__all__ = [
+    "Topology",
+    "TOPOLOGIES",
+    "get_topology",
+    "list_topologies",
+    "register_topology",
+    "validate_remote_pairs",
+]
+
+NodePair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """One interconnect rule: node count in, canonical link list out.
+
+    Attributes
+    ----------
+    name:
+        Registry key (lower-case canonical form).
+    builder:
+        Callable mapping ``num_nodes`` to the link list, or to ``None`` for
+        all-to-all connectivity (the architecture's native encoding of a
+        complete interconnect).
+    description:
+        One-line human description (shown by ``repro list-topologies``).
+    min_nodes:
+        Smallest node count the rule is defined for.
+    """
+
+    name: str
+    builder: Callable[[int], Optional[List[NodePair]]]
+    description: str = ""
+    min_nodes: int = 2
+
+    def links(self, num_nodes: int) -> Optional[List[NodePair]]:
+        """Materialise the link list for ``num_nodes`` nodes.
+
+        Returns ``None`` for all-to-all connectivity; otherwise a sorted list
+        of canonical ``(a, b)`` pairs with ``a < b``.
+        """
+        if num_nodes < self.min_nodes:
+            raise TopologyError(
+                f"topology {self.name!r} needs at least {self.min_nodes} "
+                f"nodes, got {num_nodes}"
+            )
+        links = self.builder(num_nodes)
+        if links is None:
+            return None
+        return sorted({(min(a, b), max(a, b)) for a, b in links})
+
+
+def _line_links(num_nodes: int) -> List[NodePair]:
+    return [(index, index + 1) for index in range(num_nodes - 1)]
+
+
+def _ring_links(num_nodes: int) -> List[NodePair]:
+    links = _line_links(num_nodes)
+    if num_nodes > 2:
+        links.append((0, num_nodes - 1))
+    return links
+
+
+def _star_links(num_nodes: int) -> List[NodePair]:
+    return [(0, index) for index in range(1, num_nodes)]
+
+
+def _builtin_topologies() -> Dict[str, Topology]:
+    return {
+        "all_to_all": Topology(
+            name="all_to_all",
+            builder=lambda num_nodes: None,
+            description="every node pair linked (paper evaluation setting)",
+        ),
+        "line": Topology(
+            name="line",
+            builder=_line_links,
+            description="open chain 0-1-...-(N-1)",
+        ),
+        "ring": Topology(
+            name="ring",
+            builder=_ring_links,
+            description="closed chain (equals all_to_all for N <= 3)",
+        ),
+        "star": Topology(
+            name="star",
+            builder=_star_links,
+            description="node 0 is the hub, all others are leaves",
+        ),
+    }
+
+
+TOPOLOGIES: Dict[str, Topology] = _builtin_topologies()
+
+#: Synthesised ``grid-RxC`` specs, memoised like benchmark family specs.
+_GRID_CACHE: Dict[str, Topology] = {}
+
+_GRID_RE = re.compile(r"grid-(\d+)x(\d+)$")
+
+
+def _grid_builder(rows: int, cols: int) -> Callable[[int], List[NodePair]]:
+    def build(num_nodes: int) -> List[NodePair]:
+        if num_nodes != rows * cols:
+            raise TopologyError(
+                f"topology 'grid-{rows}x{cols}' covers exactly "
+                f"{rows * cols} nodes, got {num_nodes}"
+            )
+        links: List[NodePair] = []
+        for row in range(rows):
+            for col in range(cols):
+                node = row * cols + col
+                if col + 1 < cols:
+                    links.append((node, node + 1))
+                if row + 1 < rows:
+                    links.append((node, node + cols))
+        return links
+
+    return build
+
+
+def _grid_topology(name: str) -> Optional[Topology]:
+    """Synthesise a ``grid-RxC`` family member, or ``None``."""
+    key = name.lower()
+    cached = _GRID_CACHE.get(key)
+    if cached is not None:
+        return cached
+    match = _GRID_RE.fullmatch(key)
+    if not match:
+        return None
+    rows, cols = int(match.group(1)), int(match.group(2))
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise TopologyError(f"grid topology {name!r} needs at least 2 nodes")
+    topology = Topology(
+        name=f"grid-{rows}x{cols}",
+        builder=_grid_builder(rows, cols),
+        description=f"{rows}x{cols} rectangular mesh ({rows * cols} nodes)",
+    )
+    return _GRID_CACHE.setdefault(key, topology)
+
+
+def list_topologies() -> List[str]:
+    """Names of the registered topologies (the ``grid-RxC`` family resolves
+    on demand without appearing here, like benchmark family names)."""
+    return list(TOPOLOGIES)
+
+
+def get_topology(topology) -> Topology:
+    """Resolve a topology by (case-insensitive) name, or pass one through.
+
+    Registered names resolve to their registry entries; ``grid-RxC`` names
+    are synthesised on demand.  :class:`Topology` instances pass through
+    unchanged, so APIs taking ``topology`` accept both forms.
+    """
+    if isinstance(topology, Topology):
+        return topology
+    key = str(topology).lower()
+    registered = TOPOLOGIES.get(key)
+    if registered is not None:
+        return registered
+    family = _grid_topology(key)
+    if family is not None:
+        return family
+    raise TopologyError(
+        f"unknown topology {topology!r}; registered: "
+        f"{', '.join(TOPOLOGIES)} plus family names grid-RxC (e.g. grid-2x3)"
+    )
+
+
+def register_topology(topology: Topology, overwrite: bool = False) -> Topology:
+    """Register a topology under its (lower-cased) name.
+
+    The entry-point for third-party interconnects: once registered, the name
+    is usable everywhere a built-in is — ``SystemConfig(topology=...)``,
+    study axes, and the CLI.  Returns the topology for call-site chaining.
+    """
+    key = topology.name.lower()
+    if not overwrite and key in TOPOLOGIES:
+        raise TopologyError(
+            f"topology {topology.name!r} is already registered; pass "
+            f"overwrite=True to replace it"
+        )
+    TOPOLOGIES[key] = topology
+    return topology
+
+
+def validate_remote_pairs(architecture, remote_pairs: Sequence[NodePair],
+                          context: str = "program") -> None:
+    """Check that every remote-gate node pair is linked in ``architecture``.
+
+    ``remote_pairs`` are canonical ``(a, b)`` pairs (``a < b``), e.g. from
+    :meth:`~repro.partitioning.assigner.DistributedProgram.remote_pairs`.
+    Raises :class:`TopologyError` naming the unlinked pairs — the compile
+    stage calls this so an infeasible (topology, partition) combination
+    fails with a clear message instead of deep inside the executor.
+    """
+    linked = set(architecture.node_pairs())
+    missing = sorted(set(remote_pairs) - linked)
+    if missing:
+        raise TopologyError(
+            f"{context} needs entanglement between unlinked node pair(s) "
+            f"{missing}; linked pairs: {sorted(linked)}. Use a topology that "
+            f"links these nodes (e.g. 'all_to_all') or a partition whose "
+            f"remote gates stay on linked pairs."
+        )

@@ -1,5 +1,12 @@
 """Graph-partitioning substrate (METIS substitute) and circuit distribution."""
 
+from repro.partitioning.registry import (
+    Partitioner,
+    PrecomputedPartitioner,
+    get_partitioner,
+    list_partitioners,
+    register_partitioner,
+)
 from repro.partitioning.assigner import (
     DistributedProgram,
     distribute_circuit,
@@ -20,6 +27,11 @@ from repro.partitioning.spectral import fiedler_vector, spectral_bisection
 __all__ = [
     "InteractionGraph",
     "Partition",
+    "Partitioner",
+    "PrecomputedPartitioner",
+    "get_partitioner",
+    "list_partitioners",
+    "register_partitioner",
     "kernighan_lin_bisection",
     "kl_refine",
     "fm_bisection",

@@ -11,12 +11,12 @@ corresponding columns of Table I.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.partitioning.interaction_graph import InteractionGraph
-from repro.partitioning.multilevel import partition_graph
 from repro.partitioning.partition import Partition
+from repro.partitioning.registry import Partitioner, get_partitioner
 from repro.exceptions import PartitionError
 
 __all__ = [
@@ -189,7 +189,7 @@ def distribute_circuit(
     circuit: QuantumCircuit,
     num_nodes: int = 2,
     partition: Optional[Partition] = None,
-    method: str = "multilevel",
+    method: Union[str, Partitioner] = "multilevel",
     seed: int = 0,
     exact_balance: bool = True,
 ) -> DistributedProgram:
@@ -202,11 +202,12 @@ def distribute_circuit(
     num_nodes:
         Number of QPU nodes; ignored when ``partition`` is given.
     partition:
-        Pre-computed partition to use; when omitted, the interaction graph is
-        partitioned with ``method``.
+        Pre-computed partition to use (the ``"precomputed"`` passthrough);
+        when omitted, the interaction graph is partitioned with ``method``.
     method:
-        Partitioning algorithm (``"multilevel"`` reproduces the METIS
-        baseline of the paper).
+        Partitioning strategy: a name registered in
+        :mod:`repro.partitioning.registry` (``"multilevel"`` reproduces the
+        METIS baseline of the paper) or a :class:`Partitioner` instance.
     seed:
         Seed for the partitioner.
     exact_balance:
@@ -215,9 +216,10 @@ def distribute_circuit(
         evenly as possible), matching the paper's symmetric node capacity.
     """
     if partition is None:
+        partitioner = get_partitioner(method)
         graph = InteractionGraph.from_circuit(circuit)
-        partition = partition_graph(graph, num_blocks=num_nodes,
-                                    seed=seed, method=method)
+        partition = partitioner.partition(graph, num_blocks=num_nodes,
+                                          seed=seed)
         if exact_balance:
             base = circuit.num_qubits // num_nodes
             remainder = circuit.num_qubits % num_nodes

@@ -172,13 +172,14 @@ class MultilevelPartitioner:
     def k_way(self, graph: InteractionGraph, num_blocks: int) -> Partition:
         """Partition into ``num_blocks`` blocks by recursive bisection.
 
-        ``num_blocks`` must be a power of two (the paper only needs 2 nodes,
-        but multi-node architectures use 4 or 8).
+        Any ``num_blocks >= 1`` is supported: even splits recurse on the
+        balanced bisection directly (bit-identical to the historical
+        power-of-two path), while odd splits rebalance the bisection to the
+        proportional ``k1 : k2`` vertex ratio before recursing, as METIS
+        does for non-power-of-two k.
         """
         if num_blocks < 1:
             raise PartitionError("need at least one block")
-        if num_blocks & (num_blocks - 1) != 0:
-            raise PartitionError("k-way partitioning requires a power-of-two k")
         if num_blocks == 1:
             return Partition({v: 0 for v in range(graph.num_vertices)}, 1,
                              method="multilevel")
@@ -197,11 +198,23 @@ class MultilevelPartitioner:
             return
         subgraph, back_map = graph.subgraph(set(vertices))
         bisection = self.bisect(subgraph)
+        left_blocks = num_blocks // 2
+        right_blocks = num_blocks - left_blocks
+        if left_blocks != right_blocks:
+            # Odd split: the balanced bisection must shed vertices to the
+            # proportional k1:k2 ratio so downstream blocks end up even.
+            from repro.partitioning.assigner import rebalance_partition
+
+            left_target = round(len(vertices) * left_blocks / num_blocks)
+            targets = [left_target, len(vertices) - left_target]
+            if bisection.block_sizes() != targets:
+                bisection = rebalance_partition(subgraph, bisection, targets)
         left = [back_map[v] for v in bisection.block_members(0)]
         right = [back_map[v] for v in bisection.block_members(1)]
-        self._recursive_bisect(graph, left, block_offset, num_blocks // 2, assignment)
-        self._recursive_bisect(graph, right, block_offset + num_blocks // 2,
-                               num_blocks // 2, assignment)
+        self._recursive_bisect(graph, left, block_offset, left_blocks,
+                               assignment)
+        self._recursive_bisect(graph, right, block_offset + left_blocks,
+                               right_blocks, assignment)
 
     # ------------------------------------------------------------------
     def _initial_partition(self, graph: InteractionGraph) -> Partition:
@@ -236,24 +249,15 @@ def partition_graph(graph: InteractionGraph, num_blocks: int = 2,
                     seed: int = 0, method: str = "multilevel") -> Partition:
     """Partition a graph with the requested algorithm.
 
-    ``method`` is one of ``"multilevel"`` (default, METIS substitute),
-    ``"kl"``, ``"fm"``, ``"spectral"`` or ``"contiguous"``.
-    Only ``"multilevel"`` supports ``num_blocks != 2``.
+    A convenience front-end to the partitioner registry
+    (:mod:`repro.partitioning.registry`): ``method`` is any registered name
+    or alias — ``"multilevel"`` (default, METIS substitute),
+    ``"kernighan_lin"`` / ``"kl"``, ``"fiduccia_mattheyses"`` / ``"fm"``,
+    ``"spectral"``, ``"contiguous"`` — or a :class:`Partitioner` instance.
+    ``multilevel`` and ``contiguous`` support any ``num_blocks``; the
+    bisection-only algorithms reject ``num_blocks != 2``.
     """
-    if method == "multilevel":
-        return MultilevelPartitioner(seed=seed).k_way(graph, num_blocks)
-    if num_blocks != 2:
-        raise PartitionError(f"method {method!r} only supports bisection")
-    if method == "kl":
-        from repro.partitioning.kernighan_lin import kernighan_lin_bisection
+    from repro.partitioning.registry import get_partitioner
 
-        return kernighan_lin_bisection(graph, seed=seed)
-    if method == "fm":
-        from repro.partitioning.fiduccia_mattheyses import fm_bisection
-
-        return fm_bisection(graph, seed=seed)
-    if method == "spectral":
-        return spectral_bisection(graph)
-    if method == "contiguous":
-        return Partition.contiguous(graph.num_vertices, num_blocks)
-    raise PartitionError(f"unknown partitioning method {method!r}")
+    return get_partitioner(method).partition(graph, num_blocks=num_blocks,
+                                             seed=seed)

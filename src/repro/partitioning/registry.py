@@ -1,0 +1,243 @@
+"""Pluggable partitioner registry.
+
+The codebase ships four partitioning algorithms (multilevel METIS-style,
+Kernighan-Lin, Fiduccia-Mattheyses, spectral) plus the contiguous baseline,
+but before this registry only ``"multilevel"`` was reachable from the
+configuration surface.  :class:`Partitioner` is the strategy ABC —
+``partition(graph, num_blocks, seed) -> Partition`` — and the string-keyed
+registry follows the idiom of :mod:`repro.benchmarks.registry` and
+:mod:`repro.runtime.designs`: built-ins resolve by canonical name (with the
+historical ``"kl"`` / ``"fm"`` short names as aliases), and third parties
+plug in via :func:`register_partitioner` (re-exported by :mod:`repro.api`),
+after which the name works everywhere — ``SystemConfig(partition_method=…)``,
+study axes, and the CLI.
+
+``"precomputed"`` is the passthrough strategy: it carries an explicit
+:class:`~repro.partitioning.partition.Partition` instead of computing one,
+which is how externally computed partitions (e.g. from a real METIS run)
+enter the same pipeline.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import PartitionError
+from repro.partitioning.fiduccia_mattheyses import fm_bisection
+from repro.partitioning.interaction_graph import InteractionGraph
+from repro.partitioning.kernighan_lin import kernighan_lin_bisection
+from repro.partitioning.multilevel import MultilevelPartitioner
+from repro.partitioning.partition import Partition
+from repro.partitioning.spectral import spectral_bisection
+
+__all__ = [
+    "Partitioner",
+    "PrecomputedPartitioner",
+    "PARTITIONERS",
+    "get_partitioner",
+    "list_partitioners",
+    "register_partitioner",
+]
+
+
+class Partitioner(ABC):
+    """Strategy interface of the partitioning stage.
+
+    Subclasses set :attr:`name` (the registry key), :attr:`supports_k_way`
+    (whether ``num_blocks > 2`` is accepted), and implement
+    :meth:`partition`.  Instances are stateless and shared; calling one is
+    equivalent to calling :meth:`partition`.
+    """
+
+    #: Registry key (lower-case canonical form).
+    name: str = "?"
+    #: Whether the algorithm accepts ``num_blocks != 2``.
+    supports_k_way: bool = False
+    #: One-line human description (shown by ``repro list-partitioners``).
+    description: str = ""
+
+    @abstractmethod
+    def partition(self, graph: InteractionGraph, num_blocks: int = 2,
+                  seed: int = 0) -> Partition:
+        """Partition ``graph`` into ``num_blocks`` blocks."""
+
+    def cache_token(self) -> str:
+        """Token identifying this strategy's output in compile-cache keys.
+
+        Stateless strategies are fully identified by their name; strategies
+        whose output depends on carried state (e.g.
+        :class:`PrecomputedPartitioner`) must fold that state in, or two
+        instances sharing a name would collide in a shared artifact cache.
+        """
+        return self.name
+
+    def __call__(self, graph: InteractionGraph, num_blocks: int = 2,
+                 seed: int = 0) -> Partition:
+        return self.partition(graph, num_blocks=num_blocks, seed=seed)
+
+    def _require_bisection(self, num_blocks: int) -> None:
+        if num_blocks != 2:
+            raise PartitionError(
+                f"partitioner {self.name!r} only supports bisection "
+                f"(2 blocks), got num_blocks={num_blocks}; use 'multilevel' "
+                f"(or 'contiguous') for k-way partitioning"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class _MultilevelMethod(Partitioner):
+    name = "multilevel"
+    supports_k_way = True
+    description = "METIS-style coarsen/bisect/refine (paper baseline)"
+
+    def partition(self, graph: InteractionGraph, num_blocks: int = 2,
+                  seed: int = 0) -> Partition:
+        return MultilevelPartitioner(seed=seed).k_way(graph, num_blocks)
+
+
+class _KernighanLinMethod(Partitioner):
+    name = "kernighan_lin"
+    description = "classic KL pair-swap bisection"
+
+    def partition(self, graph: InteractionGraph, num_blocks: int = 2,
+                  seed: int = 0) -> Partition:
+        self._require_bisection(num_blocks)
+        return kernighan_lin_bisection(graph, seed=seed)
+
+
+class _FiducciaMattheysesMethod(Partitioner):
+    name = "fiduccia_mattheyses"
+    description = "FM single-vertex-move bisection with gain buckets"
+
+    def partition(self, graph: InteractionGraph, num_blocks: int = 2,
+                  seed: int = 0) -> Partition:
+        self._require_bisection(num_blocks)
+        return fm_bisection(graph, seed=seed)
+
+
+class _SpectralMethod(Partitioner):
+    name = "spectral"
+    description = "Fiedler-vector bisection (deterministic, seed ignored)"
+
+    def partition(self, graph: InteractionGraph, num_blocks: int = 2,
+                  seed: int = 0) -> Partition:
+        self._require_bisection(num_blocks)
+        return spectral_bisection(graph, seed=seed)
+
+
+class _ContiguousMethod(Partitioner):
+    name = "contiguous"
+    supports_k_way = True
+    description = "index-contiguous chunks (deterministic baseline)"
+
+    def partition(self, graph: InteractionGraph, num_blocks: int = 2,
+                  seed: int = 0) -> Partition:
+        return Partition.contiguous(graph.num_vertices, num_blocks)
+
+
+class PrecomputedPartitioner(Partitioner):
+    """Passthrough strategy carrying an externally computed partition.
+
+    ``PrecomputedPartitioner(partition)`` returns ``partition`` unchanged
+    (after checking it matches the graph), so external tools' partitions run
+    through the same distribution pipeline as the built-in algorithms.  The
+    registry entry ``"precomputed"`` holds no partition and exists so the
+    name is discoverable; using it directly raises a clear error pointing at
+    the two ways to supply the partition.
+    """
+
+    name = "precomputed"
+    supports_k_way = True
+    description = "passthrough for an externally supplied Partition"
+
+    def __init__(self, partition: Optional[Partition] = None) -> None:
+        self._partition = partition
+
+    def cache_token(self) -> str:
+        if self._partition is None:
+            return self.name
+        assignment = sorted(self._partition.assignment.items())
+        return (f"{self.name}:{self._partition.num_blocks}:{assignment!r}")
+
+    def partition(self, graph: InteractionGraph, num_blocks: int = 2,
+                  seed: int = 0) -> Partition:
+        if self._partition is None:
+            raise PartitionError(
+                "the 'precomputed' partitioner carries no partition; pass "
+                "partition=... to distribute_circuit or use "
+                "PrecomputedPartitioner(partition) directly"
+            )
+        if self._partition.num_vertices != graph.num_vertices:
+            raise PartitionError(
+                f"precomputed partition covers {self._partition.num_vertices} "
+                f"vertices but the graph has {graph.num_vertices}"
+            )
+        if self._partition.num_blocks != num_blocks:
+            raise PartitionError(
+                f"precomputed partition has {self._partition.num_blocks} "
+                f"blocks but {num_blocks} were requested"
+            )
+        return self._partition
+
+
+PARTITIONERS: Dict[str, Partitioner] = {}
+
+#: Historical short names accepted everywhere a canonical name is.
+_ALIASES: Dict[str, str] = {}
+
+
+def register_partitioner(partitioner: Partitioner,
+                         aliases: Sequence[str] = (),
+                         overwrite: bool = False) -> Partitioner:
+    """Register a partitioner under its (lower-cased) name.
+
+    The entry-point for third-party algorithms: once registered, the name is
+    usable everywhere a built-in is.  Returns the partitioner for chaining.
+    """
+    key = partitioner.name.lower()
+    if not overwrite and key in PARTITIONERS:
+        raise PartitionError(
+            f"partitioner {partitioner.name!r} is already registered; pass "
+            f"overwrite=True to replace it"
+        )
+    PARTITIONERS[key] = partitioner
+    for alias in aliases:
+        _ALIASES[alias.lower()] = key
+    return partitioner
+
+
+def get_partitioner(method: Union[str, Partitioner]) -> Partitioner:
+    """Resolve a partitioner by (case-insensitive) name or pass one through.
+
+    Accepts canonical names, registered aliases (``"kl"``, ``"fm"``), and
+    :class:`Partitioner` instances (returned unchanged), so every API taking
+    ``method`` transparently supports ad-hoc strategy objects.
+    """
+    if isinstance(method, Partitioner):
+        return method
+    key = str(method).lower()
+    key = _ALIASES.get(key, key)
+    partitioner = PARTITIONERS.get(key)
+    if partitioner is None:
+        raise PartitionError(
+            f"unknown partitioning method {method!r}; registered: "
+            f"{', '.join(PARTITIONERS)} (aliases: "
+            f"{', '.join(sorted(_ALIASES))})"
+        )
+    return partitioner
+
+
+def list_partitioners() -> List[str]:
+    """Canonical names of the registered partitioners, in registration order."""
+    return list(PARTITIONERS)
+
+
+register_partitioner(_MultilevelMethod())
+register_partitioner(_KernighanLinMethod(), aliases=("kl",))
+register_partitioner(_FiducciaMattheysesMethod(), aliases=("fm",))
+register_partitioner(_SpectralMethod())
+register_partitioner(_ContiguousMethod())
+register_partitioner(PrecomputedPartitioner())

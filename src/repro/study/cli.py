@@ -14,12 +14,15 @@ Subcommands
             --axis comm_qubits_per_node,buffer_qubits_per_node=10:10,15:15,20:20
         python -m repro sweep --spec study.json --out results.json
 
-``list-benchmarks`` / ``list-designs``
-    Show the registered benchmark suite and the paper's designs.
+``list-benchmarks`` / ``list-designs`` / ``list-partitioners`` / ``list-topologies``
+    Show the registered benchmark suite, the paper's designs, the pluggable
+    partitioning strategies, and the interconnect topologies.
 
 Axis syntax: ``field=v1,v2,v3`` for one field, or
 ``fieldA,fieldB=a1:b1,a2:b2`` for fields swept together (zipped).  Values
-are parsed as JSON scalars where possible (``0.4`` → float, ``10`` → int).
+are parsed as JSON scalars where possible (``0.4`` → float, ``10`` → int);
+registry-name axes stay strings, e.g.
+``--axis partition_method=multilevel,spectral --axis topology=all_to_all,ring``.
 """
 
 from __future__ import annotations
@@ -35,6 +38,8 @@ from repro.benchmarks.registry import get_benchmark, list_benchmarks
 from repro.core.config import SystemConfig
 from repro.engine.backends import list_backends
 from repro.exceptions import ReproError
+from repro.hardware.topology import TOPOLOGIES, list_topologies
+from repro.partitioning.registry import PARTITIONERS, list_partitioners
 from repro.runtime.designs import DESIGNS, list_designs
 from repro.study.grid import Axis
 from repro.study.results import ResultSet
@@ -105,6 +110,12 @@ def _add_study_options(parser: argparse.ArgumentParser) -> None:
                         help="buffer qubits per node (default 10)")
     parser.add_argument("--psucc", type=float, default=None, metavar="P",
                         help="per-attempt EPR success probability (default 0.4)")
+    parser.add_argument("--partition-method", default=None, metavar="NAME",
+                        help="partitioning strategy (see list-partitioners; "
+                             "default multilevel)")
+    parser.add_argument("--topology", default=None, metavar="NAME",
+                        help="interconnect topology (see list-topologies; "
+                             "default all_to_all)")
     parser.add_argument("--partition-seed", type=int, default=None, metavar="S",
                         help="graph-partitioner seed (default 0)")
     parser.add_argument("--out", "-o", default=None, metavar="PATH",
@@ -137,6 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-benchmarks", help="show the registered benchmarks")
     sub.add_parser("list-designs", help="show the paper's designs")
+    sub.add_parser("list-partitioners",
+                   help="show the registered partitioning strategies")
+    sub.add_parser("list-topologies",
+                   help="show the registered interconnect topologies")
     return parser
 
 
@@ -148,6 +163,8 @@ def _system_overrides(args: argparse.Namespace) -> dict:
         "comm_qubits_per_node": args.comm_qubits,
         "buffer_qubits_per_node": args.buffer_qubits,
         "epr_success_probability": args.psucc,
+        "partition_method": args.partition_method,
+        "topology": args.topology,
     }
     return {key: value for key, value in overrides.items()
             if value is not None}
@@ -279,6 +296,41 @@ def _cmd_list_designs() -> int:
     return 0
 
 
+def _cmd_list_partitioners() -> int:
+    rows = []
+    for name in list_partitioners():
+        partitioner = PARTITIONERS[name]
+        rows.append([
+            name,
+            "any k" if partitioner.supports_k_way else "bisection",
+            partitioner.description,
+        ])
+    print(format_table(["name", "blocks", "description"], rows))
+    print("\nAliases: kl = kernighan_lin, fm = fiduccia_mattheyses. "
+          "Register custom strategies via repro.api.register_partitioner().")
+    return 0
+
+
+def _cmd_list_topologies() -> int:
+    rows = []
+    for name in list_topologies():
+        topology = TOPOLOGIES[name]
+        try:
+            links = topology.links(4)
+            preview = ("all pairs" if links is None else
+                       " ".join(f"{a}-{b}" for a, b in links))
+        except ReproError:
+            # Third-party topologies may be defined for specific node
+            # counts only; the preview must not break the listing.
+            preview = "n/a at 4 nodes"
+        rows.append([name, preview, topology.description])
+    print(format_table(["name", "links (4 nodes)", "description"], rows))
+    print("\nFamily names synthesise meshes on demand: grid-RxC "
+          "(e.g. grid-2x3 for 6 nodes). Register custom topologies via "
+          "repro.api.register_topology().")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -290,6 +342,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_list_benchmarks()
         if args.command == "list-designs":
             return _cmd_list_designs()
+        if args.command == "list-partitioners":
+            return _cmd_list_partitioners()
+        if args.command == "list-topologies":
+            return _cmd_list_topologies()
         parser.error(f"unknown command {args.command!r}")
     except (ReproError, ValueError, OSError) as error:
         print(f"repro: error: {error}", file=sys.stderr)

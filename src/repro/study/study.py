@@ -34,8 +34,10 @@ from repro.core.config import SystemConfig
 from repro.engine.backends import BackendLike, ExecutionBackend, ExecutionTask, get_backend
 from repro.engine.cache import ArtifactCache, fingerprint
 from repro.engine.compiler import CellCompiler, CompiledCell
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, PartitionError, TopologyError
 from repro.hardware.parameters import GateFidelities, GateTimes
+from repro.hardware.topology import get_topology
+from repro.partitioning.registry import get_partitioner
 from repro.runtime.designs import DesignSpec, list_designs
 from repro.scheduling.policies import AdaptivePolicy
 from repro.study.grid import Axis, GridSpec
@@ -53,6 +55,17 @@ RESERVED_AXES = ("benchmark", "design", "seed", *EXECUTOR_AXES)
 _SYSTEM_FIELDS = tuple(
     f.name for f in dataclass_fields(SystemConfig)
     if f.name not in ("gate_times", "fidelities")
+)
+
+#: Scalar string-valued SystemConfig fields (registry names); every other
+#: sweepable system field takes numbers.
+_SYSTEM_STRING_FIELDS = tuple(
+    f.name for f in dataclass_fields(SystemConfig)
+    if f.name in _SYSTEM_FIELDS and f.type in ("str", str)
+)
+
+_SYSTEM_NUMERIC_FIELDS = tuple(
+    name for name in _SYSTEM_FIELDS if name not in _SYSTEM_STRING_FIELDS
 )
 
 AxesLike = Union[Sequence[Axis], Mapping[str, Sequence[Any]]]
@@ -93,9 +106,14 @@ class Study:
         per cell; an explicit ``seed`` axis overrides both.
     system:
         Base hardware configuration (defaults to the paper's 32-qubit
-        system).
-    partition_method / partition_seed:
-        Partitioner configuration shared by every cell.
+        system).  Carries the default partitioning strategy and interconnect
+        topology; a ``partition_method`` or ``topology`` axis produces
+        per-point variants.
+    partition_method:
+        Optional override of ``system.partition_method`` (applied to the
+        base system, so axes still take precedence per point).
+    partition_seed:
+        Partitioner seed shared by every cell.
     backend:
         Execute-stage strategy (instance, registered name, or ``None`` for
         serial).  Backends the study creates from a name / ``None`` are
@@ -118,7 +136,7 @@ class Study:
         num_runs: int = 1,
         base_seed: int = 1,
         system: Optional[SystemConfig] = None,
-        partition_method: str = "multilevel",
+        partition_method: Optional[str] = None,
         partition_seed: int = 0,
         backend: BackendLike = None,
         cache: Optional[ArtifactCache] = None,
@@ -130,7 +148,12 @@ class Study:
         self.num_runs = num_runs
         self.base_seed = base_seed
         self.system = system or SystemConfig()
-        self.partition_method = partition_method
+        if partition_method is not None:
+            # The system carries the strategy so per-point variants (a
+            # partition_method axis) and the base default share one code path.
+            self.system = replace(self.system,
+                                  partition_method=partition_method)
+        self.partition_method = self.system.partition_method
         self.partition_seed = partition_seed
         self.cache = cache if cache is not None else ArtifactCache()
 
@@ -240,19 +263,70 @@ class Study:
                     self._check_executor_values(axis, index, field)
                     continue
                 if field not in _SYSTEM_FIELDS:
+                    non_scalar = tuple(
+                        f.name for f in dataclass_fields(SystemConfig)
+                        if f.name not in _SYSTEM_FIELDS
+                    )
+                    if field in non_scalar:
+                        raise ConfigurationError(
+                            f"SystemConfig field {field!r} is not a scalar "
+                            f"and cannot be swept as an axis; sweepable "
+                            f"axes — reserved: {', '.join(RESERVED_AXES)}; "
+                            f"numeric system fields: "
+                            f"{', '.join(_SYSTEM_NUMERIC_FIELDS)}; string "
+                            f"system fields: "
+                            f"{', '.join(_SYSTEM_STRING_FIELDS)}"
+                        )
                     raise ConfigurationError(
-                        f"unknown axis field {field!r}; reserved axes: "
-                        f"{', '.join(RESERVED_AXES)}; system fields: "
-                        f"{', '.join(_SYSTEM_FIELDS)}"
+                        f"unknown axis field {field!r}; sweepable axes — "
+                        f"reserved: {', '.join(RESERVED_AXES)}; numeric "
+                        f"system fields: {', '.join(_SYSTEM_NUMERIC_FIELDS)}; "
+                        f"string system fields: "
+                        f"{', '.join(_SYSTEM_STRING_FIELDS)}"
                     )
                 for value in axis.values:
                     item = value[index] if len(axis.fields) > 1 else value
-                    if isinstance(item, bool) or not isinstance(item,
-                                                                (int, float)):
+                    if field in _SYSTEM_STRING_FIELDS:
+                        self._check_string_field_value(field, item)
+                    elif isinstance(item, bool) or not isinstance(
+                            item, (int, float)):
                         raise ConfigurationError(
                             f"system axis {field!r} values must be numbers, "
                             f"got {item!r}"
                         )
+
+    def _check_string_field_value(self, field: str, item: Any) -> None:
+        """Resolve registry-name axis values eagerly so a typo fails at
+        study construction, not mid-run in a system variant."""
+        if not isinstance(item, str):
+            raise ConfigurationError(
+                f"system axis {field!r} values must be registry names "
+                f"(strings), got {item!r}"
+            )
+        try:
+            if field == "partition_method":
+                partitioner = get_partitioner(item)
+                # Capability check against the node count, unless num_nodes
+                # is itself swept — then each variant's SystemConfig checks
+                # its own combination at plan-expansion time.
+                num_nodes_swept = any("num_nodes" in axis.fields
+                                      for axis in self._custom_axes)
+                if (not num_nodes_swept and self.system.num_nodes > 2
+                        and not partitioner.supports_k_way):
+                    raise ConfigurationError(
+                        f"partition_method axis value {item!r} only supports "
+                        f"bisection but the system has "
+                        f"{self.system.num_nodes} nodes"
+                    )
+            elif field == "topology":
+                topology = get_topology(item)
+                if not any("num_nodes" in axis.fields
+                           for axis in self._custom_axes):
+                    topology.links(self.system.num_nodes)
+        except (PartitionError, TopologyError) as error:
+            raise ConfigurationError(
+                f"invalid {field!r} axis value: {error}"
+            ) from None
 
     @staticmethod
     def _check_executor_values(axis: Axis, index: int, field: str) -> None:
@@ -346,13 +420,13 @@ class Study:
         are reused across system variants.
         """
         system = system or self.system
-        key = fingerprint("study-system", system, self.partition_method,
-                          self.partition_seed)
+        key = fingerprint("study-system", system, self.partition_seed)
         compiler = self._compilers.get(key)
         if compiler is None:
+            # The system variant carries its own partition_method/topology,
+            # so a swept strategy reaches the compiler with no extra plumbing.
             compiler = CellCompiler(
                 system=system,
-                partition_method=self.partition_method,
                 partition_seed=self.partition_seed,
                 cache=self.cache,
             )
@@ -502,7 +576,7 @@ class Study:
             num_runs=int(spec.get("num_runs", 1)),
             base_seed=int(spec.get("base_seed", 1)),
             system=system,
-            partition_method=spec.get("partition_method", "multilevel"),
+            partition_method=spec.get("partition_method"),
             partition_seed=int(spec.get("partition_seed", 0)),
             backend=backend,
             cache=cache,

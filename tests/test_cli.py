@@ -196,3 +196,65 @@ class TestListCommands:
         for design in ("original", "sync_buf", "async_buf", "adapt_buf",
                        "init_buf", "ideal"):
             assert design in out
+
+    def test_list_partitioners(self, capsys):
+        assert main(["list-partitioners"]) == 0
+        out = capsys.readouterr().out
+        for name in ("multilevel", "kernighan_lin", "fiduccia_mattheyses",
+                     "spectral", "precomputed"):
+            assert name in out
+        assert "kl = kernighan_lin" in out  # alias hint
+
+    def test_list_topologies(self, capsys):
+        assert main(["list-topologies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("all_to_all", "line", "ring", "star"):
+            assert name in out
+        assert "grid-RxC" in out  # family hint
+
+
+class TestPartitionerTopologyAxes:
+    def test_sweep_partitioner_by_topology_grid(self, tmp_path):
+        out = tmp_path / "grid.json"
+        code = main(["sweep", "--benchmark", "QAOA-r4-16",
+                     "--design", "adapt_buf", "--runs", "1",
+                     *SMALL_SYSTEM_FLAGS,
+                     "--axis", "partition_method=multilevel,spectral",
+                     "--axis", "topology=all_to_all,ring",
+                     "--quiet", "--out", str(out)])
+        assert code == 0
+        results = ResultSet.load(out)
+        assert len(results) == 4
+        assert sorted(results.group_by("partition_method")) == [
+            "multilevel", "spectral"]
+        assert sorted(results.group_by("topology")) == ["all_to_all", "ring"]
+
+    def test_partition_method_and_topology_flags(self, tmp_path):
+        out = tmp_path / "rs.json"
+        code = main(["run", "--benchmark", "TLIM-32", "--design", "ideal",
+                     "--runs", "1", *SMALL_SYSTEM_FLAGS,
+                     "--partition-method", "contiguous",
+                     "--topology", "ring", "--quiet", "--out", str(out)])
+        assert code == 0
+        assert len(ResultSet.load(out)) == 1
+
+    def test_unknown_partition_method_exits_nonzero(self, capsys):
+        code = main(["run", "--benchmark", "TLIM-32", "--runs", "1",
+                     "--partition-method", "metis"])
+        assert code == 2
+        assert "unknown partitioning method" in capsys.readouterr().err
+
+    def test_unknown_topology_exits_nonzero(self, capsys):
+        code = main(["run", "--benchmark", "TLIM-32", "--runs", "1",
+                     "--topology", "torus"])
+        assert code == 2
+        assert "unknown topology" in capsys.readouterr().err
+
+    def test_unlinked_topology_partition_reported(self, capsys):
+        # A 4-node ring cannot serve QAOA's multilevel partition (diagonal
+        # remote pairs); the CLI surfaces the compile-time topology error.
+        code = main(["sweep", "--benchmark", "QAOA-r4-32",
+                     "--design", "adapt_buf", "--runs", "1",
+                     "--nodes", "4", "--topology", "ring"])
+        assert code == 2
+        assert "unlinked node pair" in capsys.readouterr().err

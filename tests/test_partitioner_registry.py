@@ -1,0 +1,206 @@
+"""Tests for the partitioner registry and cross-algorithm invariants."""
+
+import random
+
+import pytest
+
+from repro.benchmarks import qft_circuit, tlim_circuit
+from repro.circuits.circuit import QuantumCircuit
+from repro.partitioning import (
+    InteractionGraph,
+    Partition,
+    Partitioner,
+    PrecomputedPartitioner,
+    distribute_circuit,
+    get_partitioner,
+    list_partitioners,
+    register_partitioner,
+)
+from repro.partitioning.registry import PARTITIONERS
+from repro.exceptions import PartitionError
+
+ALGORITHMS = ("multilevel", "kernighan_lin", "fiduccia_mattheyses", "spectral")
+
+
+def _benchmark_graph(num_qubits=16):
+    return InteractionGraph.from_circuit(qft_circuit(num_qubits))
+
+
+class TestRegistry:
+    def test_builtins_listed(self):
+        assert list_partitioners() == [
+            "multilevel", "kernighan_lin", "fiduccia_mattheyses",
+            "spectral", "contiguous", "precomputed",
+        ]
+
+    def test_aliases_resolve_to_canonical(self):
+        assert get_partitioner("kl") is get_partitioner("kernighan_lin")
+        assert get_partitioner("fm") is get_partitioner("fiduccia_mattheyses")
+        assert get_partitioner("KL").name == "kernighan_lin"
+
+    def test_instance_passthrough(self):
+        partitioner = get_partitioner("spectral")
+        assert get_partitioner(partitioner) is partitioner
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(PartitionError, match="registered:"):
+            get_partitioner("metis")
+
+    def test_register_custom_and_duplicate_rejected(self):
+        class Halves(Partitioner):
+            name = "test-halves"
+
+            def partition(self, graph, num_blocks=2, seed=0):
+                self._require_bisection(num_blocks)
+                return Partition.contiguous(graph.num_vertices, 2)
+
+        try:
+            register_partitioner(Halves())
+            graph = _benchmark_graph()
+            assert get_partitioner("test-halves")(graph).num_blocks == 2
+            with pytest.raises(PartitionError, match="already registered"):
+                register_partitioner(Halves())
+        finally:
+            PARTITIONERS.pop("test-halves", None)
+
+    def test_bisection_only_algorithms_reject_k_way(self):
+        graph = _benchmark_graph()
+        for name in ("kernighan_lin", "fiduccia_mattheyses", "spectral"):
+            with pytest.raises(PartitionError, match="only supports bisection"):
+                get_partitioner(name).partition(graph, num_blocks=4)
+
+
+class TestPrecomputed:
+    def test_registry_entry_carries_no_partition(self):
+        graph = _benchmark_graph()
+        with pytest.raises(PartitionError, match="carries no partition"):
+            get_partitioner("precomputed").partition(graph)
+
+    def test_passthrough_returns_partition_unchanged(self):
+        graph = _benchmark_graph()
+        explicit = Partition.contiguous(16, 2)
+        result = PrecomputedPartitioner(explicit).partition(graph)
+        assert result is explicit
+
+    def test_mismatched_partition_rejected(self):
+        graph = _benchmark_graph()
+        with pytest.raises(PartitionError, match="vertices"):
+            PrecomputedPartitioner(Partition.contiguous(8, 2)).partition(graph)
+        with pytest.raises(PartitionError, match="blocks"):
+            PrecomputedPartitioner(
+                Partition.contiguous(16, 4)).partition(graph, num_blocks=2)
+
+    def test_distribute_circuit_with_explicit_partition(self):
+        circuit = tlim_circuit(16, num_steps=2)
+        explicit = Partition.contiguous(16, 2)
+        program = distribute_circuit(circuit, partition=explicit)
+        assert program.partition == explicit
+
+    def test_distribute_circuit_with_partitioner_instance(self):
+        circuit = tlim_circuit(16, num_steps=2)
+        program = distribute_circuit(
+            circuit, method=PrecomputedPartitioner(Partition.contiguous(16, 2)))
+        assert program.partition.method == "contiguous"
+
+
+class TestAlgorithmInvariants:
+    """Shared invariants of the four real algorithms (ISSUE satellite)."""
+
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_valid_balanced_bisection(self, name):
+        graph = _benchmark_graph(16)
+        partition = get_partitioner(name).partition(graph, seed=3)
+        assert partition.num_blocks == 2
+        assert partition.num_vertices == 16
+        # All algorithms bound the imbalance: exact halves for KL/spectral,
+        # a 10% tolerance for FM/multilevel refinement.
+        assert max(partition.block_sizes()) <= int(1.1 * 8) + 1
+
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_deterministic_per_seed(self, name):
+        graph = _benchmark_graph(12)
+        first = get_partitioner(name).partition(graph, seed=7)
+        second = get_partitioner(name).partition(graph, seed=7)
+        assert first.assignment == second.assignment
+
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_cut_no_worse_than_random_balanced_partition(self, name):
+        graph = _benchmark_graph(16)
+        rng = random.Random(123)
+        vertices = list(range(16))
+        rng.shuffle(vertices)
+        random_cut = Partition.from_blocks(
+            [sorted(vertices[:8]), sorted(vertices[8:])]).cut_weight(graph)
+        cut = get_partitioner(name).partition(graph, seed=0).cut_weight(graph)
+        assert cut <= random_cut + 1e-9
+
+    @pytest.mark.parametrize("num_nodes", [2, 3, 4])
+    def test_multilevel_k_way_distributes_exactly(self, num_nodes):
+        circuit = qft_circuit(12)
+        program = distribute_circuit(circuit, num_nodes=num_nodes)
+        assert program.num_nodes == num_nodes
+        assert sorted(program.partition.block_sizes()) == sorted(
+            [12 // num_nodes + (1 if i < 12 % num_nodes else 0)
+             for i in range(num_nodes)])
+
+    def test_partitioners_yield_distinct_strategies(self):
+        # Sanity: the axis is worth sweeping — at least two registered
+        # algorithms disagree on some graph.
+        circuit = qft_circuit(10)
+        programs = {
+            name: distribute_circuit(circuit, method=name, seed=0)
+            for name in ALGORITHMS
+        }
+        assignments = {tuple(sorted(p.partition.assignment.items()))
+                       for p in programs.values()}
+        assert len(assignments) >= 2
+
+
+class TestCacheTokens:
+    def test_stateless_token_is_name(self):
+        assert get_partitioner("multilevel").cache_token() == "multilevel"
+
+    def test_precomputed_tokens_distinguish_partitions(self):
+        a = PrecomputedPartitioner(Partition.contiguous(8, 2))
+        b = PrecomputedPartitioner(
+            Partition.from_blocks([[0, 2, 4, 6], [1, 3, 5, 7]]))
+        assert a.cache_token() != b.cache_token()
+
+    def test_shared_cache_keeps_precomputed_partitions_apart(self):
+        from repro.benchmarks import build_benchmark
+        from repro.core.config import SystemConfig
+        from repro.engine import ArtifactCache, CellCompiler
+
+        circuit = build_benchmark("TLIM-16")
+        even = Partition.contiguous(16, 2)
+        odd = Partition.from_blocks([sorted(range(0, 16, 2)),
+                                     sorted(range(1, 16, 2))])
+        cache = ArtifactCache()
+        system = SystemConfig(data_qubits_per_node=8,
+                              comm_qubits_per_node=4,
+                              buffer_qubits_per_node=4)
+        first = CellCompiler(system=system, cache=cache,
+                             partition_method=PrecomputedPartitioner(even))
+        second = CellCompiler(system=system, cache=cache,
+                              partition_method=PrecomputedPartitioner(odd))
+        assert first.resolve_program(circuit).partition == even
+        assert second.resolve_program(circuit).partition == odd
+
+
+class TestKWayCapabilityValidation:
+    def test_bisection_method_rejected_on_multi_node_system(self):
+        from repro.core.config import SystemConfig
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="only supports bisection"):
+            SystemConfig(num_nodes=4, partition_method="spectral")
+
+    def test_bisection_axis_value_rejected_on_multi_node_study(self):
+        from repro.core.config import SystemConfig
+        from repro.study import Study
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="only supports bisection"):
+            Study(benchmarks="TLIM-32", num_runs=1,
+                  system=SystemConfig(num_nodes=4),
+                  axes={"partition_method": ["multilevel", "spectral"]})

@@ -137,10 +137,16 @@ class TestMultilevel:
         assert partition.num_blocks == 4
         assert sorted(partition.block_sizes()) == [4, 4, 4, 4]
 
-    def test_k_way_rejects_non_power_of_two(self):
+    def test_k_way_odd_block_count(self):
+        graph = InteractionGraph.from_circuit(tlim_circuit(18, num_steps=1))
+        partition = MultilevelPartitioner(seed=0).k_way(graph, 3)
+        assert partition.num_blocks == 3
+        assert sorted(partition.block_sizes()) == [6, 6, 6]
+
+    def test_k_way_rejects_zero_blocks(self):
         graph = two_cluster_graph()
         with pytest.raises(PartitionError):
-            MultilevelPartitioner().k_way(graph, 3)
+            MultilevelPartitioner().k_way(graph, 0)
 
     def test_partition_graph_dispatch(self):
         graph = two_cluster_graph()

@@ -513,3 +513,93 @@ class TestConfigSatellites:
     def test_multi_node_system_accepted(self):
         system = SystemConfig(num_nodes=3)
         assert system.build_architecture().num_nodes == 3
+
+
+# ----------------------------------------------------------------------
+# partitioner / topology axes (registry redesign)
+# ----------------------------------------------------------------------
+class TestPartitionerTopologyAxes:
+    def test_partition_method_axis_runs_and_labels_records(self):
+        study = Study(benchmarks="QFT-16", designs=["adapt_buf"],
+                      axes={"partition_method": ["multilevel", "spectral"]},
+                      num_runs=1, system=SMALL_SYSTEM)
+        results = study.run()
+        study.close()
+        assert len(results) == 2
+        assert sorted(results.group_by("partition_method")) == [
+            "multilevel", "spectral"]
+
+    def test_topology_axis_produces_system_variants(self):
+        study = Study(benchmarks="TLIM-32", designs=["ideal"],
+                      axes={"topology": ["all_to_all", "ring"]},
+                      num_runs=1, system=SMALL_SYSTEM)
+        plan = study.plan()
+        assert sorted(s.topology for s in plan.systems()) == [
+            "all_to_all", "ring"]
+
+    def test_partition_method_argument_applied_to_system(self):
+        study = Study(benchmarks="TLIM-32", designs=["ideal"], num_runs=1,
+                      partition_method="contiguous", system=SMALL_SYSTEM)
+        assert study.system.partition_method == "contiguous"
+        assert study.partition_method == "contiguous"
+
+    def test_shared_cache_partitions_once_across_topologies(self):
+        cache = ArtifactCache()
+        study = Study(benchmarks="TLIM-32", designs=["ideal"],
+                      axes={"topology": ["all_to_all", "line"]},
+                      num_runs=1, system=SystemConfig(
+                          partition_method="contiguous"),
+                      cache=cache)
+        study.run()
+        study.close()
+        # One partitioned program serves both topology variants.
+        assert cache.count("program") == 1
+
+    def test_spec_round_trip_with_registry_axes(self):
+        study = Study(benchmarks="QFT-16", designs=["adapt_buf"],
+                      axes={"partition_method": ["multilevel", "spectral"]},
+                      num_runs=1, system=SMALL_SYSTEM)
+        spec = json.loads(json.dumps(study.to_spec()))
+        assert spec["system"]["partition_method"] == "multilevel"
+        assert spec["system"]["topology"] == "all_to_all"
+        rebuilt = Study.from_spec(spec)
+        first, second = study.run(), rebuilt.run()
+        study.close()
+        rebuilt.close()
+        assert first.records == second.records
+
+    def test_unknown_axis_value_fails_at_construction(self):
+        with pytest.raises(ConfigurationError,
+                           match="invalid 'partition_method'"):
+            Study(benchmarks="TLIM-32", num_runs=1,
+                  axes={"partition_method": ["multilevel", "metis"]})
+        with pytest.raises(ConfigurationError, match="invalid 'topology'"):
+            Study(benchmarks="TLIM-32", num_runs=1,
+                  axes={"topology": ["torus"]})
+
+    def test_non_string_registry_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="registry names"):
+            Study(benchmarks="TLIM-32", num_runs=1,
+                  axes={"topology": [3]})
+
+
+class TestAxisErrorMessages:
+    def test_unknown_field_lists_sweepable_axes(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            Study(benchmarks="TLIM-32", num_runs=1,
+                  axes={"warp_factor": [1, 2]})
+        message = str(excinfo.value)
+        assert "unknown axis field 'warp_factor'" in message
+        assert "comm_qubits_per_node" in message  # numeric fields listed
+        assert "partition_method" in message      # string fields listed
+        assert "segment_length" in message        # reserved axes listed
+
+    def test_non_scalar_system_field_named_explicitly(self):
+        with pytest.raises(ConfigurationError, match="not a scalar"):
+            Study(benchmarks="TLIM-32", num_runs=1,
+                  axes={"gate_times": [1, 2]})
+
+    def test_non_numeric_value_for_numeric_field(self):
+        with pytest.raises(ConfigurationError, match="must be numbers"):
+            Study(benchmarks="TLIM-32", num_runs=1,
+                  axes={"comm_qubits_per_node": ["lots"]})
