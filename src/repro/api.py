@@ -51,6 +51,7 @@ from repro.partitioning.registry import (
     register_partitioner,
 )
 from repro.runtime.designs import DesignSpec, get_design, list_designs
+from repro.runtime.execmode import BATCHED, EXEC_ENV_VAR, LEGACY, execution_mode
 
 __all__ = [
     # partitioners
@@ -79,4 +80,9 @@ __all__ = [
     "get_backend",
     "list_backends",
     "register_backend",
+    # execution cores (REPRO_EXEC)
+    "BATCHED",
+    "LEGACY",
+    "EXEC_ENV_VAR",
+    "execution_mode",
 ]

@@ -8,7 +8,11 @@ The engine splits the simulation pipeline into two explicit stages:
   fingerprint (:mod:`repro.engine.cache`).
 * **execute** (:mod:`repro.engine.backends`) — stochastic per seed: replay
   a compiled cell through a pluggable :class:`ExecutionBackend`, serially
-  or across a process pool.
+  or across a process pool.  Backends dispatch ``(cell, seed-chunk)``
+  batches to the trajectory-batched execution core
+  (:class:`~repro.runtime.batched.BatchedExecutor`); set
+  ``REPRO_EXEC=legacy`` to replay through the reference
+  :class:`~repro.runtime.executor.DesignExecutor` instead.
 
 :class:`~repro.engine.pipeline.ExperimentEngine` ties the stages together
 for full benchmarks × designs × seeds grids.
@@ -19,6 +23,7 @@ from repro.engine.backends import (
     ExecutionTask,
     ProcessPoolBackend,
     SerialBackend,
+    chunk_tasks,
     get_backend,
     list_backends,
     register_backend,
@@ -36,6 +41,7 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "chunk_tasks",
     "get_backend",
     "register_backend",
     "list_backends",

@@ -12,15 +12,26 @@ backends differ only in wall-clock strategy:
 * :class:`SerialBackend` — runs tasks in order on the calling thread,
 * :class:`ProcessPoolBackend` — fans tasks out over a process pool,
   preserving input order.
+
+The unit of dispatch is **not** the single task: both backends coalesce
+consecutive tasks of the same cell into ``(cell, seed-chunk)`` batches
+(:func:`chunk_tasks`) and replay each batch through
+:meth:`~repro.engine.compiler.CompiledCell.execute_batch`, so per-cell
+artifacts — gate streams, lookup tables, static counts — are shared across
+a whole chunk of seeds instead of being re-entered (and, for the process
+pool, re-pickled) once per run.  Process workers are persistent and inherit
+the compiled cells of the first batch through the pool initializer; chunks
+then travel as ``(cache_key, seeds)`` pairs, a few bytes each.
 """
 
 from __future__ import annotations
 
+import math
 import os
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.compiler import CompiledCell
 from repro.exceptions import ConfigurationError
@@ -31,10 +42,19 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "chunk_tasks",
     "get_backend",
     "register_backend",
     "list_backends",
+    "BACKEND_ENV_VAR",
 ]
+
+#: Environment variable consulted when no backend is specified.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Load-balancing oversubscription: aim for this many chunks per worker so
+#: unevenly expensive cells (e.g. adaptive vs ideal designs) level out.
+_CHUNKS_PER_WORKER = 4
 
 
 @dataclass(frozen=True, eq=False)
@@ -49,9 +69,31 @@ class ExecutionTask:
         return self.cell.execute(seed=self.seed)
 
 
-def _run_task(task: ExecutionTask) -> ExecutionResult:
-    """Module-level task runner so process pools can pickle it."""
-    return task.run()
+def chunk_tasks(tasks: Sequence[ExecutionTask],
+                chunk_size: int) -> List[Tuple[CompiledCell, List[int]]]:
+    """Coalesce consecutive same-cell tasks into ``(cell, seeds)`` chunks.
+
+    Order is preserved: concatenating the chunks' seeds in output order
+    reproduces the task order exactly, which is what lets backends replay
+    chunks and still return results positionally.  Only *consecutive* runs
+    of one cell are merged — interleaved cells stay separate chunks — and no
+    chunk exceeds ``chunk_size`` seeds.
+    """
+    if chunk_size < 1:
+        raise ConfigurationError("chunk size must be positive")
+    chunks: List[Tuple[CompiledCell, List[int]]] = []
+    current_cell: Optional[CompiledCell] = None
+    current_seeds: List[int] = []
+    for task in tasks:
+        if task.cell is not current_cell or len(current_seeds) >= chunk_size:
+            if current_seeds:
+                chunks.append((current_cell, current_seeds))
+            current_cell = task.cell
+            current_seeds = []
+        current_seeds.append(task.seed)
+    if current_seeds:
+        chunks.append((current_cell, current_seeds))
+    return chunks
 
 
 class ExecutionBackend(ABC):
@@ -80,28 +122,76 @@ class ExecutionBackend(ABC):
 
 
 class SerialBackend(ExecutionBackend):
-    """Run every task in order on the calling thread (the reference)."""
+    """Run every task in order on the calling thread (the reference).
+
+    Consecutive same-cell tasks are replayed as one seed batch so the
+    per-cell replay state (gate-stream columns, lookup resets) is shared.
+    """
 
     name = "serial"
 
     def execute(self, tasks: Sequence[ExecutionTask]) -> List[ExecutionResult]:
-        return [task.run() for task in tasks]
+        results: List[ExecutionResult] = []
+        for cell, seeds in chunk_tasks(tasks, chunk_size=len(tasks) or 1):
+            results.extend(cell.execute_batch(seeds))
+        return results
+
+
+# ----------------------------------------------------------------------
+# process-pool worker plumbing
+# ----------------------------------------------------------------------
+
+#: Worker-side compiled-cell registry, keyed by cell fingerprint; seeded by
+#: the pool initializer so chunks travel as ``(cache_key, seeds)`` pairs.
+_WORKER_CELLS: Dict[str, CompiledCell] = {}
+
+
+def _init_worker(cells: Dict[str, CompiledCell]) -> None:
+    """Pool initializer: inherit the driver's compiled-cell artifacts."""
+    _WORKER_CELLS.update(cells)
+
+
+def _run_seed_chunk(
+    payload: Tuple[str, Tuple[int, ...]],
+) -> List[ExecutionResult]:
+    """Replay one ``(cell, seed-chunk)`` batch inside a worker process."""
+    key, seeds = payload
+    cell = _WORKER_CELLS.get(key)
+    if cell is None:  # pragma: no cover - _ensure_pool keeps workers covered
+        raise ConfigurationError(
+            f"worker has no compiled cell for key {key[:12]}…; "
+            f"the pool initializer did not cover this batch"
+        )
+    return cell.execute_batch(list(seeds))
 
 
 class ProcessPoolBackend(ExecutionBackend):
-    """Fan tasks out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    """Fan ``(cell, seed-chunk)`` batches out over a persistent process pool.
 
     Parameters
     ----------
     max_workers:
-        Worker process count (defaults to the CPU count).
+        Worker process count.  The default uses every usable CPU (scheduler
+        affinity when available) and is never 1 on a multi-core machine.
     chunksize:
-        Tasks shipped per worker round-trip; by default one contiguous slice
-        per worker, which keeps per-cell tasks on few processes and bounds
-        pickling overhead.
+        Maximum seeds per dispatched batch; by default sized so every
+        worker receives about :data:`_CHUNKS_PER_WORKER` batches
+        (``ceil(num_tasks / (workers * 4))``), balancing load without
+        degenerating into per-run dispatch.
 
     The pool is created lazily on the first :meth:`execute` call and reused
     until :meth:`close`, so sweeps pay the worker start-up cost once.
+    Workers inherit every compiled cell through the pool initializer and
+    chunks then travel as ``(cache_key, seeds)`` pairs; when a later call
+    brings cells the current pool has never seen, the pool is rebuilt once
+    with the accumulated cell set (workers restart, but cells are pickled
+    once per worker instead of once per chunk forever).
+
+    A one-worker pool is pure overhead — serial execution plus pickling —
+    which is exactly the ``BENCH_engine.json`` regression (0.89x vs serial).
+    When only one worker is available the backend therefore runs the chunks
+    inline on the calling thread: results are identical either way, and the
+    backend never loses to :class:`SerialBackend` on a single-CPU machine.
     """
 
     name = "process"
@@ -115,28 +205,69 @@ class ProcessPoolBackend(ExecutionBackend):
         self.max_workers = max_workers
         self.chunksize = chunksize
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_cells: Dict[str, CompiledCell] = {}
 
     # ------------------------------------------------------------------
     def _workers(self) -> int:
-        return self.max_workers or os.cpu_count() or 1
+        if self.max_workers is not None:
+            return self.max_workers
+        count = os.cpu_count() or 1
+        try:
+            usable = len(os.sched_getaffinity(0)) or count
+        except AttributeError:  # pragma: no cover - non-Linux platforms
+            usable = count
+        # Every usable CPU gets a worker; a machine (or cpuset/affinity
+        # mask) with a single usable CPU gets 1, which the execute path
+        # short-circuits to inline execution — multiple workers contending
+        # for one CPU is strictly worse than the serial backend (the
+        # BENCH_engine.json 0.89x regression).
+        return usable if usable > 1 else 1
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    def _ensure_pool(self, cells: Dict[str, CompiledCell]) -> ProcessPoolExecutor:
+        unknown = [key for key in cells if key not in self._pool_cells]
+        if self._pool is not None and unknown:
+            self._pool.shutdown(wait=True)
+            self._pool = None
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self._workers())
+            self._pool_cells.update(cells)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers(),
+                initializer=_init_worker,
+                initargs=(self._pool_cells,),
+            )
         return self._pool
+
+    def _chunk_size(self, num_tasks: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, math.ceil(num_tasks / (self._workers() * _CHUNKS_PER_WORKER)))
 
     def execute(self, tasks: Sequence[ExecutionTask]) -> List[ExecutionResult]:
         tasks = list(tasks)
         if not tasks:
             return []
-        pool = self._ensure_pool()
-        chunksize = self.chunksize or max(1, len(tasks) // self._workers())
-        return list(pool.map(_run_task, tasks, chunksize=chunksize))
+        chunks = chunk_tasks(tasks, self._chunk_size(len(tasks)))
+        if self._workers() == 1:
+            results: List[ExecutionResult] = []
+            for cell, seeds in chunks:
+                results.extend(cell.execute_batch(seeds))
+            return results
+        cells = {chunk[0].cache_key: chunk[0] for chunk in chunks}
+        pool = self._ensure_pool(cells)
+        futures = [
+            pool.submit(_run_seed_chunk, (cell.cache_key, tuple(seeds)))
+            for cell, seeds in chunks
+        ]
+        results: List[ExecutionResult] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+            self._pool_cells = {}
 
 
 # ----------------------------------------------------------------------
@@ -165,8 +296,12 @@ def list_backends() -> List[str]:
 def get_backend(backend: BackendLike = None) -> ExecutionBackend:
     """Resolve a backend argument: instance, registered name, or ``None``.
 
-    ``None`` resolves to a fresh :class:`SerialBackend`.
+    ``None`` consults the ``REPRO_BACKEND`` environment variable (so whole
+    studies, the CLI, and the figure harnesses share one knob) and falls
+    back to a fresh :class:`SerialBackend`.
     """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or None
     if backend is None:
         return SerialBackend()
     if isinstance(backend, ExecutionBackend):

@@ -98,12 +98,28 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
 
+    def reset_stats(self) -> None:
+        """Zero the hit / miss counters without touching the entries.
+
+        Benchmarks call this between phases so each phase's ``stats()``
+        reflects only its own lookups instead of the warm-up's.
+        """
+        self.hits = 0
+        self.misses = 0
+
     # ------------------------------------------------------------------
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache."""
+        """Fraction of lookups served from the cache.
+
+        An idle cache (no lookups yet — in particular an *empty* one) has no
+        meaningful rate; the division is guarded and reported as 0.0 rather
+        than raising or pretending a rate exists.
+        """
         total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        if total == 0:
+            return 0.0
+        return self.hits / total
 
     def stats(self) -> Dict[str, float]:
         """Flat statistics summary (used by benchmarks and reports)."""
@@ -111,6 +127,7 @@ class ArtifactCache:
             "entries": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
+            "lookups": self.hits + self.misses,
             "hit_rate": self.hit_rate,
         }
 

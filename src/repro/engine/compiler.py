@@ -13,7 +13,7 @@ seed, serially or across processes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.benchmarks.registry import build_benchmark
 from repro.circuits.circuit import QuantumCircuit
@@ -24,8 +24,11 @@ from repro.hardware.architecture import DQCArchitecture
 from repro.hardware.topology import validate_remote_pairs
 from repro.partitioning.assigner import DistributedProgram, distribute_circuit
 from repro.partitioning.registry import get_partitioner
+from repro.runtime.batched import BatchedExecutor
 from repro.runtime.designs import DesignSpec, get_design
+from repro.runtime.execmode import LEGACY, execution_mode
 from repro.runtime.executor import DesignExecutor
+from repro.runtime.gatestream import CompiledStreams, lower_cell
 from repro.runtime.metrics import ExecutionResult
 from repro.scheduling.lookup import ScheduleLookupTable
 from repro.scheduling.policies import AdaptivePolicy
@@ -55,11 +58,12 @@ class CompiledCell:
     adaptive_policy: AdaptivePolicy
     lookup: Optional[ScheduleLookupTable]
     cache_key: str
+    streams: Optional[CompiledStreams] = None
 
     # ------------------------------------------------------------------
     def executor(self, seed: int = 0,
                  collect_trace: bool = False) -> DesignExecutor:
-        """Build a :class:`DesignExecutor` that replays this cell."""
+        """Build a legacy :class:`DesignExecutor` that replays this cell."""
         return DesignExecutor(
             self.architecture,
             self.design,
@@ -70,11 +74,49 @@ class CompiledCell:
             collect_trace=collect_trace,
         )
 
-    def execute(self, seed: int = 0,
-                collect_trace: bool = False) -> ExecutionResult:
-        """Replay the cell under one seed and return its metrics."""
-        executor = self.executor(seed=seed, collect_trace=collect_trace)
-        return executor.run(self.program, benchmark_name=self.benchmark)
+    def batched_executor(self) -> BatchedExecutor:
+        """Build a :class:`BatchedExecutor` over this cell's gate streams."""
+        return BatchedExecutor(
+            self.architecture,
+            self.design,
+            segment_length=self.segment_length,
+            adaptive_policy=self.adaptive_policy,
+            lookup=self.lookup,
+            streams=self.streams,
+        )
+
+    def execute_batch(self, seeds: Sequence[int],
+                      mode: Optional[str] = None) -> List[ExecutionResult]:
+        """Replay the cell under a batch of seeds, in seed order.
+
+        ``mode`` overrides the process-wide execution core
+        (:func:`~repro.runtime.execmode.execution_mode`): ``"batched"``
+        replays the lowered gate streams in one pass, ``"legacy"`` runs the
+        reference :class:`DesignExecutor` per seed.  Both produce identical
+        results for identical seeds.
+        """
+        if execution_mode(mode) == LEGACY:
+            return [
+                self.executor(seed=seed).run(
+                    self.program, benchmark_name=self.benchmark
+                )
+                for seed in seeds
+            ]
+        return self.batched_executor().run_batch(
+            self.program, seeds, benchmark_name=self.benchmark
+        )
+
+    def execute(self, seed: int = 0, collect_trace: bool = False,
+                mode: Optional[str] = None) -> ExecutionResult:
+        """Replay the cell under one seed and return its metrics.
+
+        Trace collection is a legacy-executor feature, so ``collect_trace``
+        forces the reference core for that call.
+        """
+        if collect_trace or execution_mode(mode) == LEGACY:
+            executor = self.executor(seed=seed, collect_trace=collect_trace)
+            return executor.run(self.program, benchmark_name=self.benchmark)
+        return self.execute_batch([seed], mode=mode)[0]
 
 
 class CellCompiler:
@@ -250,6 +292,10 @@ class CellCompiler:
             adaptive_policy=policy,
             lookup=lookup,
             cache_key=key,
+            # Lower the program (and, for adaptive designs, every segment
+            # variant) into flat gate streams once per cell; the batched
+            # executor replays these arrays for every seed.
+            streams=lower_cell(program, self.architecture, spec, lookup=lookup),
         )
         return self.cache.put("cell", key, cell)
 

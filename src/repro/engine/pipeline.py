@@ -80,6 +80,8 @@ class ExperimentEngine:
 
         Returns one result list per cell, in cell order, each in seed order
         — regardless of how the backend parallelised the flat task grid.
+        The grid is submitted cell-major, so backends coalesce it into
+        (cell, seed-chunk) batches for the trajectory-batched executor.
         """
         seeds = list(seeds) if seeds is not None else self.config.seeds()
         tasks = [

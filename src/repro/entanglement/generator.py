@@ -6,19 +6,35 @@ succeeds independently with probability ``psucc`` (0.4 in the paper's
 evaluation).  The generator exposes the successes of each pair as a lazy,
 reproducible stream so the runtime can pull exactly as much of the future as
 it needs.
+
+Outcomes are drawn from the per-pair PRNG in *vectorized blocks* (a single
+``Generator.random(n)`` call covers ``n`` attempts) rather than one Python
+call per attempt.  NumPy draws the identical variate sequence whether
+``random()`` is called ``n`` times or once with ``size=n``, so block
+sampling is bit-identical to the historical per-attempt draws — this is
+what lets the batched executor and the legacy reference executor share one
+stochastic process.  Success *times* are materialised alongside the
+outcomes as sorted per-pair arrays, turning interval queries into binary
+searches instead of per-attempt Python loops.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
-from repro.entanglement.attempts import AttemptPolicy, AttemptSchedule
+from repro.entanglement.attempts import AttemptSchedule
 from repro.exceptions import EntanglementError
 
 __all__ = ["GenerationEvent", "EntanglementGenerator"]
+
+#: First vectorized outcome block per pair; subsequent blocks double up to
+#: :data:`_MAX_BLOCK` so long simulations stay O(log) in RNG calls.
+_MIN_BLOCK = 128
+_MAX_BLOCK = 8192
 
 
 @dataclass(frozen=True)
@@ -59,62 +75,291 @@ class EntanglementGenerator:
         self.schedule = schedule
         self.success_probability = success_probability
         self.seed = seed
-        self._rngs: Dict[int, np.random.Generator] = {}
-        self._outcomes: Dict[int, List[bool]] = {}
+        # Per-pair sampled state, indexed by pair: number of attempts drawn
+        # so far, the raw outcome blocks, and the sorted success times /
+        # attempt indices.  (A pair-less schedule still allocates one slot
+        # so out-of-range errors surface through the schedule's own checks.)
+        slots = max(1, schedule.num_pairs)
+        self._rngs: List[Optional[np.random.Generator]] = [None] * slots
+        self._drawn: List[int] = [0] * slots
+        self._outcomes: List[List[np.ndarray]] = [[] for _ in range(slots)]
+        self._success_times: List[List[float]] = [[] for _ in range(slots)]
+        self._success_attempts: List[List[int]] = [[] for _ in range(slots)]
+        self._first_completion: List[Optional[float]] = [None] * slots
 
     # ------------------------------------------------------------------
     def _rng_for(self, pair_index: int) -> np.random.Generator:
-        if pair_index not in self._rngs:
-            self._rngs[pair_index] = np.random.default_rng(
+        rng = self._rngs[pair_index]
+        if rng is None:
+            rng = np.random.default_rng(
                 np.random.SeedSequence(entropy=self.seed,
                                        spawn_key=(pair_index,))
             )
-        return self._rngs[pair_index]
+            self._rngs[pair_index] = rng
+        return rng
+
+    def _first_completion_of(self, pair_index: int) -> float:
+        first = self._first_completion[pair_index]
+        if first is None:
+            first = self.schedule.first_completion(pair_index)
+            self._first_completion[pair_index] = first
+        return first
+
+    def _attempt_after(self, pair_index: int, time: float) -> int:
+        """Inline replica of :meth:`AttemptSchedule.attempt_index_completing_after`.
+
+        Identical float arithmetic (including the grid-hit rounding
+        tolerance) on the cached first-completion time, avoiding the
+        five-deep method chain in the per-query hot path.
+        """
+        first = self._first_completion[pair_index]
+        if first is None:
+            first = self._first_completion_of(pair_index)
+        if time < first - 1e-12:
+            return 0
+        elapsed = (time - first) / self.schedule.cycle_time
+        if abs(elapsed - round(elapsed)) < 1e-9:
+            return int(round(elapsed)) + 1
+        return int(elapsed) + 1
+
+    # ------------------------------------------------------------------
+    # bulk sampling
+    # ------------------------------------------------------------------
+    def _extend(self, pair_index: int) -> None:
+        """Draw the next vectorized outcome block of one pair.
+
+        One ``Generator.random(block)`` call consumes exactly the same
+        variates as ``block`` scalar draws, so outcomes per attempt index
+        are bit-identical to the per-attempt sampling this replaces.
+        Successful attempts are appended to the pair's sorted success-time
+        arrays (``completion = first + k * cycle``, the same float
+        arithmetic as :meth:`AttemptSchedule.attempt_completion`).
+        """
+        drawn = self._drawn[pair_index]
+        block = min(_MAX_BLOCK, max(_MIN_BLOCK, drawn))
+        outcomes = self._rng_for(pair_index).random(block) < self.success_probability
+        self._outcomes[pair_index].append(outcomes)
+        successes = np.nonzero(outcomes)[0]
+        if successes.size:
+            attempts = successes + drawn
+            times = self.schedule.completion_times(pair_index, attempts)
+            self._success_times[pair_index].extend(times.tolist())
+            self._success_attempts[pair_index].extend(attempts.tolist())
+        self._drawn[pair_index] = drawn + block
+
+    def _ensure_attempts(self, pair_index: int, count: int) -> None:
+        """Materialise at least ``count`` attempt outcomes for one pair."""
+        while self._drawn[pair_index] < count:
+            self._extend(pair_index)
+
+    def _ensure_time(self, pair_index: int, time: float) -> None:
+        """Materialise every attempt completing at or before ``time``."""
+        first = self._first_completion_of(pair_index)
+        cycle = self.schedule.cycle_time
+        threshold = time + 1e-12
+        drawn = self._drawn[pair_index]
+        while drawn == 0 or first + (drawn - 1) * cycle <= threshold:
+            self._extend(pair_index)
+            drawn = self._drawn[pair_index]
+
+    def _check_pair(self, pair_index: int) -> None:
+        if not (0 <= pair_index < max(1, self.schedule.num_pairs)):
+            raise EntanglementError(
+                f"pair index {pair_index} out of range for "
+                f"{self.schedule.num_pairs} pairs"
+            )
 
     def attempt_succeeds(self, pair_index: int, attempt_index: int) -> bool:
         """Whether the given attempt of the given pair succeeds (memoised)."""
         if attempt_index < 0:
             raise EntanglementError("attempt index must be non-negative")
-        outcomes = self._outcomes.setdefault(pair_index, [])
-        rng = self._rng_for(pair_index)
-        while len(outcomes) <= attempt_index:
-            outcomes.append(bool(rng.random() < self.success_probability))
-        return outcomes[attempt_index]
+        self._check_pair(pair_index)
+        self._ensure_attempts(pair_index, attempt_index + 1)
+        offset = attempt_index
+        for block in self._outcomes[pair_index]:
+            if offset < block.size:
+                return bool(block[offset])
+            offset -= block.size
+        raise EntanglementError(  # pragma: no cover - unreachable by design
+            f"attempt {attempt_index} of pair {pair_index} not materialised"
+        )
 
     # ------------------------------------------------------------------
     def successes_between(self, pair_index: int, start: float,
                           end: float) -> List[GenerationEvent]:
-        """Successful attempts of one pair completing in ``(start, end]``."""
-        events = []
-        attempt = self.schedule.attempt_index_completing_after(pair_index, start)
-        while True:
-            completion = self.schedule.attempt_completion(pair_index, attempt)
-            if completion > end + 1e-12:
-                break
-            if completion > start + 1e-12 and self.attempt_succeeds(pair_index, attempt):
-                events.append(GenerationEvent(completion, pair_index, attempt))
-            attempt += 1
-        return events
+        """Successful attempts of one pair completing in ``(start, end]``.
+
+        The interval boundaries replicate the historical per-attempt scan
+        exactly: the scan starts at
+        :meth:`AttemptSchedule.attempt_index_completing_after` (whose
+        grid-hit tolerance can skip a completion within ``1e-9`` of
+        ``start``) and keeps completions ``> start + 1e-12`` and
+        ``<= end + 1e-12``.
+        """
+        self._check_pair(pair_index)
+        if end < start:
+            return []
+        self._ensure_time(pair_index, end)
+        first_attempt = self._attempt_after(pair_index, start)
+        times = self._success_times[pair_index]
+        attempts = self._success_attempts[pair_index]
+        lo = bisect_left(attempts, first_attempt)
+        start_bound = bisect_right(times, start + 1e-12)
+        if start_bound > lo:
+            lo = start_bound
+        hi = bisect_right(times, end + 1e-12)
+        if hi <= lo:
+            return []
+        return [
+            GenerationEvent(times[i], pair_index, attempts[i])
+            for i in range(lo, hi)
+        ]
 
     def first_success_after(self, pair_index: int, time: float,
                             max_attempts: int = 100000) -> GenerationEvent:
-        """First successful attempt of a pair completing strictly after ``time``."""
-        attempt = self.schedule.attempt_index_completing_after(pair_index, time)
-        for _ in range(max_attempts):
-            completion = self.schedule.attempt_completion(pair_index, attempt)
-            if completion > time + 1e-12 and self.attempt_succeeds(pair_index, attempt):
-                return GenerationEvent(completion, pair_index, attempt)
-            attempt += 1
-        raise EntanglementError(
-            f"no success within {max_attempts} attempts (psucc too small?)"
-        )
+        """First successful attempt of a pair completing strictly after ``time``.
+
+        Only the ``max_attempts`` attempts following the scan start are
+        considered (block sampling may have drawn further ahead, but a
+        success beyond the window still raises, preserving the historical
+        timeout contract).
+        """
+        self._check_pair(pair_index)
+        first_attempt = self._attempt_after(pair_index, time)
+        limit = first_attempt + max_attempts
+        threshold = time + 1e-12
+        while True:
+            times = self._success_times[pair_index]
+            attempts = self._success_attempts[pair_index]
+            lo = bisect_left(attempts, first_attempt)
+            lo = max(lo, bisect_right(times, threshold))
+            if lo < len(times):
+                if attempts[lo] < limit:
+                    return GenerationEvent(times[lo], pair_index, attempts[lo])
+            elif self._drawn[pair_index] < limit:
+                self._extend(pair_index)
+                continue
+            raise EntanglementError(
+                f"no success within {max_attempts} attempts (psucc too small?)"
+            )
+
+    def first_fresh_success(self, time: float, excluded,
+                            horizon: float) -> Optional[GenerationEvent]:
+        """Earliest success after ``time`` not in ``excluded``, across pairs.
+
+        Implements the selection rule of the service's direct-consumption
+        path in one fused scan: successes are ordered by ``(completion,
+        pair_index)``, the boundary semantics match
+        :meth:`successes_between` exactly (attempt-index lower bound plus
+        the ``> time + 1e-12`` filter), ``excluded`` holds already-delivered
+        ``(pair_index, attempt_index)`` keys, and attempts are drawn lazily
+        no further than ``horizon`` (or the best candidate found so far).
+        Returns ``None`` when nothing completes by ``horizon``.
+        """
+        cycle = self.schedule.cycle_time
+        threshold = time + 1e-12
+        best_time = float("inf")
+        best_pair = -1
+        best_attempt = -1
+        for pair_index in range(self.schedule.num_pairs):
+            first = self._first_completion_of(pair_index)
+            first_attempt = self._attempt_after(pair_index, time)
+            times = self._success_times[pair_index]
+            attempts = self._success_attempts[pair_index]
+            index = bisect_left(attempts, first_attempt)
+            start_bound = bisect_right(times, threshold)
+            if start_bound > index:
+                index = start_bound
+            # Only successes strictly before the current best can win (a
+            # tie keeps the earlier pair, matching merged (time, pair)
+            # order), so the draw limit shrinks as candidates are found.
+            limit = horizon if best_time > horizon else best_time
+            while True:
+                if index < len(times):
+                    candidate = times[index]
+                    if candidate >= best_time:
+                        break
+                    if (pair_index, attempts[index]) not in excluded:
+                        best_time = candidate
+                        best_pair = pair_index
+                        best_attempt = attempts[index]
+                        break
+                    index += 1
+                    continue
+                drawn = self._drawn[pair_index]
+                if drawn > 0 and first + (drawn - 1) * cycle > limit:
+                    break
+                self._extend(pair_index)
+        if best_pair < 0:
+            return None
+        return GenerationEvent(best_time, best_pair, best_attempt)
+
+    def earliest_success_bound(self, after: float) -> float:
+        """Lower bound on the completion time of any success after ``after``.
+
+        Returns a time ``T`` such that every success with completion
+        ``t > after + 1e-12`` satisfies ``t >= T``, using only attempts
+        drawn so far (the method never samples).  For pairs whose drawn
+        horizon holds no later success, the earliest *undrawn* attempt
+        completion bounds them.  Consumers (the entanglement service) use
+        this to skip interval scans that provably contain no success.
+        """
+        cycle = self.schedule.cycle_time
+        threshold = after + 1e-12
+        bound = float("inf")
+        for pair_index in range(self.schedule.num_pairs):
+            times = self._success_times[pair_index]
+            index = bisect_right(times, threshold)
+            if index < len(times):
+                candidate = times[index]
+            else:
+                drawn = self._drawn[pair_index]
+                if drawn == 0:
+                    return after
+                # Next undrawn attempt of this pair completes at
+                # first + drawn * cycle; any success of the pair after
+                # ``after`` is at or beyond whichever is later.
+                candidate = self._first_completion_of(pair_index) + drawn * cycle
+                if candidate <= threshold:
+                    return after
+            if candidate < bound:
+                bound = candidate
+        return bound
 
     def merged_successes_between(self, start: float, end: float) -> List[GenerationEvent]:
-        """Successes of *all* pairs in ``(start, end]``, sorted by time."""
+        """Successes of *all* pairs in ``(start, end]``, sorted by time.
+
+        Inlined fusion of per-pair :meth:`successes_between` (identical
+        boundary semantics) — the executor calls this once per service
+        advance, so the per-pair dispatch overhead is on the hot path.
+        """
+        if end < start:
+            return []
+        cycle = self.schedule.cycle_time
+        start_threshold = start + 1e-12
+        end_threshold = end + 1e-12
         events: List[GenerationEvent] = []
         for pair_index in range(self.schedule.num_pairs):
-            events.extend(self.successes_between(pair_index, start, end))
-        events.sort(key=lambda event: (event.time, event.pair_index))
+            # _ensure_time, inlined on the cached frontier.
+            first = self._first_completion_of(pair_index)
+            drawn = self._drawn[pair_index]
+            while drawn == 0 or first + (drawn - 1) * cycle <= end_threshold:
+                self._extend(pair_index)
+                drawn = self._drawn[pair_index]
+            times = self._success_times[pair_index]
+            if not times or times[-1] <= start_threshold:
+                continue
+            first_attempt = self._attempt_after(pair_index, start)
+            attempts = self._success_attempts[pair_index]
+            lo = bisect_left(attempts, first_attempt)
+            start_bound = bisect_right(times, start_threshold)
+            if start_bound > lo:
+                lo = start_bound
+            hi = bisect_right(times, end_threshold)
+            for i in range(lo, hi):
+                events.append(GenerationEvent(times[i], pair_index, attempts[i]))
+        if len(events) > 1:
+            events.sort(key=lambda event: (event.time, event.pair_index))
         return events
 
     # ------------------------------------------------------------------

@@ -77,9 +77,6 @@ class EntanglementService:
     in chronological order.
     """
 
-    #: Time-chunk used when scanning forward for the next success.
-    _SCAN_CHUNK = 50.0
-
     def __init__(
         self,
         generator: EntanglementGenerator,
@@ -116,6 +113,10 @@ class EntanglementService:
         self.node_pair = (min(node_pair), max(node_pair))
         self.statistics = ServiceStatistics()
         self._materialized_until = 0.0
+        #: Lower bound on the next success past the materialised frontier
+        #: (0.0 = unknown, forces a scan); lets empty advances skip the
+        #: per-pair interval queries that dominate the execute hot path.
+        self._next_success_bound = 0.0
         self._delivered: set = set()
         self._prefill_links(prefill)
 
@@ -153,6 +154,12 @@ class EntanglementService:
         """
         if time <= self._materialized_until + 1e-12:
             return
+        if time + 1e-12 < self._next_success_bound:
+            # Provably no success completes in (materialised, time]; move
+            # the frontier without scanning any pair.
+            self._materialized_until = time
+            self.buffer.expire_until(time)
+            return
         events = self.generator.merged_successes_between(
             self._materialized_until, time
         )
@@ -164,6 +171,7 @@ class EntanglementService:
             link = self._new_link(event)
             self.buffer.store(link, event.time + self.swap_latency)
         self._materialized_until = time
+        self._next_success_bound = self.generator.earliest_success_bound(time)
         self.buffer.expire_until(time)
 
     def count_available(self, time: float) -> int:
@@ -207,28 +215,24 @@ class EntanglementService:
             return ready, link
 
         # 3. Wait for the next fresh success (consumed directly from the
-        #    communication qubits, no buffering SWAP needed).
+        #    communication qubits, no buffering SWAP needed): the earliest
+        #    undelivered success in (time, pair) order after the scan start.
         scan_start = max(after, self._materialized_until)
-        scanned = 0.0
-        while scanned < max_scan:
-            scan_end = scan_start + self._SCAN_CHUNK
-            events = self.generator.merged_successes_between(scan_start, scan_end)
-            for event in events:
-                key = (event.pair_index, event.attempt_index)
-                if key in self._delivered:
-                    continue
-                self._delivered.add(key)
-                link = self._new_link(event)
-                ready = max(after, event.time)
-                age = link.consume(ready)
-                self.statistics.consumed_direct += 1
-                self.statistics.direct_consumed_age += age
-                return ready, link
-            scan_start = scan_end
-            scanned += self._SCAN_CHUNK
-        raise EntanglementError(
-            f"no entanglement success found within {max_scan} time units"
+        horizon = scan_start + max_scan
+        best = self.generator.first_fresh_success(
+            scan_start, self._delivered, horizon
         )
+        if best is None or best.time > horizon + 1e-12:
+            raise EntanglementError(
+                f"no entanglement success found within {max_scan} time units"
+            )
+        self._delivered.add((best.pair_index, best.attempt_index))
+        link = self._new_link(best)
+        ready = max(after, best.time)
+        age = link.consume(ready)
+        self.statistics.consumed_direct += 1
+        self.statistics.direct_consumed_age += age
+        return ready, link
 
     # ------------------------------------------------------------------
     # end-of-run accounting

@@ -158,21 +158,62 @@ def teleported_cnot_average_fidelity(
     return (4.0 * process + 1.0) / 5.0
 
 
+@lru_cache(maxsize=256)
+def _affine_coefficients(
+    cnot_fidelity: float,
+    measurement_fidelity: float,
+    correction_fidelity: float,
+) -> tuple:
+    """``(value_at_F=0.25, slope)`` of the average fidelity in ``F``.
+
+    The teleportation channel is a completely positive map, hence *linear*
+    in the input density matrix; the Werner resource state is affine in its
+    Bell fidelity ``F``; and both the process-fidelity overlap and the
+    process→average conversion are affine maps.  The average remote-gate
+    fidelity is therefore exactly affine in ``F``, so two density-matrix
+    evaluations (at the Werner extremes 0.25 and 1.0) determine it for
+    every link fidelity — numerically verified to machine epsilon in
+    ``tests/test_teleportation_fidelity.py``.
+    """
+    at_min = teleported_cnot_average_fidelity(
+        0.25, cnot_fidelity, measurement_fidelity, correction_fidelity
+    )
+    at_max = teleported_cnot_average_fidelity(
+        1.0, cnot_fidelity, measurement_fidelity, correction_fidelity
+    )
+    return at_min, (at_max - at_min) / 0.75
+
+
 def remote_gate_fidelity(
     link_fidelity: float,
     cnot_fidelity: float = 0.999,
     measurement_fidelity: float = 0.998,
     correction_fidelity: float = 0.9999,
-    resolution: float = 1e-4,
+    resolution: Optional[float] = None,
 ) -> float:
-    """Cached remote-gate fidelity for a (rounded) link fidelity.
+    """Remote-gate fidelity for a link fidelity, in O(1) after two sims.
 
-    The executor consumes thousands of links per run; quantising the link
-    fidelity to ``resolution`` keeps the density-matrix evaluation cache
-    small without visibly changing the result.
+    The executor consumes a link per remote gate per run, each with its own
+    decayed fidelity; evaluating the 6-qubit teleportation circuit for every
+    distinct value dominated execution wall-time.  The channel's exact
+    affine dependence on the link fidelity (see
+    :func:`_affine_coefficients`) reduces each call to a fused
+    multiply-add, with the two anchor simulations cached per local-noise
+    configuration.
+
+    ``resolution`` preserves the historical quantise-then-simulate
+    behaviour for callers that relied on it; ``None`` (the default)
+    evaluates the affine form exactly.
     """
-    quantised = round(link_fidelity / resolution) * resolution
-    quantised = min(1.0, max(0.25, quantised))
-    return teleported_cnot_average_fidelity(
-        quantised, cnot_fidelity, measurement_fidelity, correction_fidelity
+    clamped = min(1.0, max(0.25, link_fidelity))
+    if resolution is not None:
+        quantised = round(clamped / resolution) * resolution
+        quantised = min(1.0, max(0.25, quantised))
+        return teleported_cnot_average_fidelity(
+            quantised, cnot_fidelity, measurement_fidelity,
+            correction_fidelity,
+        )
+    at_min, slope = _affine_coefficients(
+        cnot_fidelity, measurement_fidelity, correction_fidelity
     )
+    return at_min + slope * (clamped - 0.25)

@@ -7,6 +7,13 @@ qubits are free, and remote gates additionally wait for an EPR pair from the
 entanglement service of their node pair.  The executor produces an
 :class:`~repro.runtime.metrics.ExecutionResult` containing the circuit depth,
 the estimated output fidelity, and the entanglement statistics.
+
+This is the **reference implementation** of the execution semantics,
+selected process-wide with ``REPRO_EXEC=legacy``.  The default execute path
+is the trajectory-batched :class:`~repro.runtime.batched.BatchedExecutor`,
+which replays pre-lowered gate streams and must stay bit-identical to this
+executor per seed (pinned by ``tests/test_batched.py``); execution traces
+(``collect_trace=True``) remain a feature of this executor only.
 """
 
 from __future__ import annotations
@@ -28,7 +35,65 @@ from repro.scheduling.policies import AdaptivePolicy
 from repro.scheduling.segmentation import default_segment_length
 from repro.exceptions import RuntimeSimulationError
 
-__all__ = ["DesignExecutor", "execute_design"]
+__all__ = [
+    "DesignExecutor",
+    "execute_design",
+    "build_program_lookup",
+    "resolve_segment_length",
+    "validate_program_capacity",
+]
+
+
+def resolve_segment_length(architecture: DQCArchitecture,
+                           segment_length: Optional[int] = None) -> int:
+    """Segment length ``m``: the override, or the paper's default.
+
+    The default is ``#comm-pairs * psucc`` over the architecture's least
+    connected node pair.  Shared by both execution cores so their adaptive
+    lookup tables can never diverge.
+    """
+    if segment_length is not None:
+        return segment_length
+    pairs = architecture.node_pairs()
+    comm_pairs = min(
+        (architecture.comm_pairs_between(a, b) for a, b in pairs),
+        default=0,
+    )
+    return default_segment_length(
+        comm_pairs, architecture.physics.epr_success_probability
+    )
+
+
+def build_program_lookup(
+    architecture: DQCArchitecture,
+    program: DistributedProgram,
+    segment_length: Optional[int] = None,
+    policy: Optional[AdaptivePolicy] = None,
+) -> ScheduleLookupTable:
+    """Segment a program and pre-compile its schedule lookup table.
+
+    Deterministic per (program, segment length, policy) — the engine's
+    compile stage builds it once per cell and replays it across seeds.
+    """
+    return build_lookup_table(
+        program.circuit,
+        resolve_segment_length(architecture, segment_length),
+        policy=policy,
+    )
+
+
+def validate_program_capacity(architecture: DQCArchitecture,
+                              program: DistributedProgram) -> None:
+    """Reject programs whose per-node qubit demand exceeds the hardware."""
+    if program.num_nodes > architecture.num_nodes:
+        raise RuntimeSimulationError(
+            f"program uses {program.num_nodes} nodes but the architecture "
+            f"has only {architecture.num_nodes}"
+        )
+    demands = [0] * architecture.num_nodes
+    for qubit in range(program.num_qubits):
+        demands[program.node_of(qubit)] += 1
+    architecture.validate_capacity(demands)
 
 
 class DesignExecutor:
@@ -264,19 +329,9 @@ class DesignExecutor:
         which is why the engine's compile stage builds it once per cell and
         replays it across seeds via the ``lookup`` constructor argument.
         """
-        if self.segment_length is not None:
-            length = self.segment_length
-        else:
-            pairs = self.architecture.node_pairs()
-            comm_pairs = min(
-                (self.architecture.comm_pairs_between(a, b) for a, b in pairs),
-                default=0,
-            )
-            length = default_segment_length(
-                comm_pairs, self.architecture.physics.epr_success_probability
-            )
-        return build_lookup_table(program.circuit, length,
-                                  policy=self.adaptive_policy)
+        return build_program_lookup(self.architecture, program,
+                                    segment_length=self.segment_length,
+                                    policy=self.adaptive_policy)
 
     def _adaptive_batches(self, program: DistributedProgram,
                           lookup: ScheduleLookupTable,
@@ -310,13 +365,9 @@ class DesignExecutor:
     @staticmethod
     def _segment_node_pairs(circuit: QuantumCircuit,
                             program: DistributedProgram) -> List[Tuple[int, int]]:
-        pairs = set()
-        for gate in circuit.gates:
-            if gate.is_remote:
-                node_a = program.node_of(gate.qubits[0])
-                node_b = program.node_of(gate.qubits[1])
-                pairs.add((min(node_a, node_b), max(node_a, node_b)))
-        return sorted(pairs)
+        from repro.runtime.gatestream import segment_node_pairs
+
+        return list(segment_node_pairs(circuit, program))
 
     # ------------------------------------------------------------------
     # misc helpers
@@ -339,15 +390,7 @@ class DesignExecutor:
         return {"single": single, "two": two, "measure": measure}
 
     def _validate_capacity(self, program: DistributedProgram) -> None:
-        demands = [0] * self.architecture.num_nodes
-        if program.num_nodes > self.architecture.num_nodes:
-            raise RuntimeSimulationError(
-                f"program uses {program.num_nodes} nodes but the architecture "
-                f"has only {self.architecture.num_nodes}"
-            )
-        for qubit in range(program.num_qubits):
-            demands[program.node_of(qubit)] += 1
-        self.architecture.validate_capacity(demands)
+        validate_program_capacity(self.architecture, program)
 
 
 def execute_design(

@@ -67,23 +67,32 @@ class ScheduleLookupTable:
         """The underlying segment at ``index``."""
         return self.variants[index].segment
 
+    def select_name(self, segment_index: int, available_epr: int,
+                    decision_time: float = 0.0) -> str:
+        """Select a segment variant *name* given the buffered EPR count.
+
+        Records the decision like :meth:`select`; the batched executor uses
+        the name to pick a pre-lowered gate stream instead of a circuit.
+        """
+        if not (0 <= segment_index < self.num_segments):
+            raise SchedulingError(f"segment index {segment_index} out of range")
+        threshold = self.policy.effective_threshold(
+            self.variants[segment_index].segment.num_remote
+        )
+        variant = self.policy.choose(available_epr, threshold)
+        self.decisions.append(
+            LookupDecision(segment_index, available_epr, variant, decision_time)
+        )
+        return variant
+
     def select(self, segment_index: int, available_epr: int,
                decision_time: float = 0.0) -> QuantumCircuit:
         """Select a segment variant given the buffered EPR count.
 
         Returns the chosen ordering and records the decision.
         """
-        if not (0 <= segment_index < self.num_segments):
-            raise SchedulingError(f"segment index {segment_index} out of range")
-        segment_variants = self.variants[segment_index]
-        threshold = self.policy.effective_threshold(
-            segment_variants.segment.num_remote
-        )
-        variant = self.policy.choose(available_epr, threshold)
-        self.decisions.append(
-            LookupDecision(segment_index, available_epr, variant, decision_time)
-        )
-        return segment_variants.get(variant)
+        variant = self.select_name(segment_index, available_epr, decision_time)
+        return self.variants[segment_index].get(variant)
 
     def variant_histogram(self) -> Dict[str, int]:
         """How many times each variant was chosen (for reports and tests)."""

@@ -99,7 +99,8 @@ def _add_study_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None, metavar="S",
                         help="seed of the first repetition (default 1)")
     parser.add_argument("--backend", default=None, metavar="NAME",
-                        help=f"execution backend ({', '.join(list_backends())})")
+                        help=f"execution backend ({', '.join(list_backends())}; "
+                             f"default: $REPRO_BACKEND or serial)")
     parser.add_argument("--nodes", type=int, default=None,
                         help="QPU node count (default 2)")
     parser.add_argument("--data-qubits", type=int, default=None, metavar="N",

@@ -115,8 +115,12 @@ class Study:
     partition_seed:
         Partitioner seed shared by every cell.
     backend:
-        Execute-stage strategy (instance, registered name, or ``None`` for
-        serial).  Backends the study creates from a name / ``None`` are
+        Execute-stage strategy (instance, registered name, or ``None``,
+        which honours the ``REPRO_BACKEND`` environment variable and falls
+        back to serial).  Backends dispatch the grid as (cell, seed-chunk)
+        batches through the batched execution core — set
+        ``REPRO_EXEC=legacy`` to replay through the reference executor
+        instead.  Backends the study creates from a name / ``None`` are
         closed by :meth:`close`; caller-provided instances stay open.
     cache:
         Shared compile-artifact cache (one is created if omitted), used by

@@ -58,6 +58,20 @@ class TestTeleportedCnot:
         assert remote_gate_fidelity(1.0000001) <= 1.0
         assert remote_gate_fidelity(0.2500001) > 0.0
 
+    def test_affine_fast_path_matches_density_matrix_sim(self):
+        # The teleportation channel is linear in the input state and the
+        # Werner resource is affine in its Bell fidelity, so the O(1)
+        # affine evaluation must match the full 6-qubit simulation to
+        # machine precision across the whole Werner range.
+        for link in (0.25, 0.3, 0.5, 0.77, 0.9, 0.987, 1.0):
+            direct = teleported_cnot_average_fidelity(link)
+            fast = remote_gate_fidelity(link)
+            assert fast == pytest.approx(direct, abs=5e-15)
+        # Non-default local noise gets its own cached anchor pair.
+        direct = teleported_cnot_average_fidelity(0.8, 0.99, 0.97, 0.999)
+        fast = remote_gate_fidelity(0.8, 0.99, 0.97, 0.999)
+        assert fast == pytest.approx(direct, abs=5e-15)
+
 
 class TestFidelityModel:
     def test_ideal_circuit_factors(self):
