@@ -80,9 +80,12 @@ from repro.study import (
     Axis,
     ExecutionPlan,
     GridSpec,
+    ProgressEvent,
     ResultSet,
     RunRecord,
+    RunStore,
     Study,
+    aggregate_stream,
 )
 
 __version__ = "1.1.0"
@@ -130,6 +133,9 @@ __all__ = [
     "ExecutionPlan",
     "RunRecord",
     "ResultSet",
+    "RunStore",
+    "ProgressEvent",
+    "aggregate_stream",
     "Study",
     "__version__",
 ]

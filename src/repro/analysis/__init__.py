@@ -3,7 +3,10 @@
 from repro.analysis.report import (
     comparison_report,
     format_table,
+    load_results,
     relative_depth_report,
+    store_status_report,
+    summary_report,
     sweep_report,
     table1_report,
     table2_report,
@@ -20,4 +23,7 @@ __all__ = [
     "comparison_report",
     "sweep_report",
     "relative_depth_report",
+    "load_results",
+    "summary_report",
+    "store_status_report",
 ]

@@ -4,16 +4,28 @@ The benchmark harness prints the same rows and series the paper reports:
 Table I (benchmark properties), Table II (operation properties), and the
 depth / fidelity bars of Figs. 5-8.  Everything is plain text so the output
 can be diffed and archived alongside EXPERIMENTS.md.
+
+Result-shaped reports accept any *source* of records via
+:func:`load_results`: an in-memory :class:`~repro.study.results.ResultSet`,
+a ``to_json`` results file, or a durable run-store directory — so a report
+can be rendered from a finished (or resumed) ``--store`` sweep without
+re-running anything.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING, Any, Dict, Iterable, List, Mapping, Optional, Sequence,
+    Union,
+)
 
 from repro.hardware.parameters import OPERATION_TABLE
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
     from repro.core.results import BenchmarkComparison
+    from repro.study.results import ResultSet
+    from repro.study.store import RunStore
 
 __all__ = [
     "format_table",
@@ -22,7 +34,14 @@ __all__ = [
     "comparison_report",
     "sweep_report",
     "relative_depth_report",
+    "load_results",
+    "summary_report",
+    "store_status_report",
 ]
+
+#: Anything a result-shaped report can render: an in-memory set, a
+#: ``ResultSet.to_json`` file, or a run-store directory.
+ResultsLike = Union["ResultSet", str, Path, "RunStore"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -134,6 +153,77 @@ def sweep_report(sweep: Mapping[int, "BenchmarkComparison"],
         rows.append([design] + cells)
     title = f"{benchmark} — {metric} vs #comm/#buffer qubits per node"
     return title + "\n" + format_table(headers, rows)
+
+
+def load_results(source: ResultsLike,
+                 allow_partial: bool = False) -> "ResultSet":
+    """Resolve any results source into a :class:`ResultSet`.
+
+    Accepts an in-memory set (returned unchanged), a path to a
+    ``ResultSet.to_json`` file, or a run-store *directory* (loaded via
+    :meth:`ResultSet.from_store`; pass ``allow_partial=True`` to report on
+    a store that is still mid-study).
+    """
+    from repro.study.results import ResultSet
+    from repro.study.store import RunStore
+
+    if isinstance(source, ResultSet):
+        return source
+    if isinstance(source, RunStore):
+        return ResultSet.from_store(source, allow_partial=allow_partial)
+    path = Path(source)
+    if path.is_dir():
+        return ResultSet.from_store(path, allow_partial=allow_partial)
+    return ResultSet.load(path)
+
+
+def summary_report(source: ResultsLike, allow_partial: bool = False) -> str:
+    """Depth / fidelity summary table of a study's results.
+
+    One row per (swept parameters, benchmark, design) group — the table
+    ``python -m repro run`` prints.  ``source`` may be a result set, a
+    results JSON file, or a run-store directory (see :func:`load_results`).
+    """
+    results = load_results(source, allow_partial=allow_partial)
+    params = results.param_keys()
+    group_cols = [*params, "benchmark", "design"]
+    if not len(results):
+        return format_table([*group_cols, "runs", "mean depth", "std",
+                             "mean fidelity"], [])
+    depth = results.aggregate("depth", by=group_cols)
+    fidelity = results.aggregate("fidelity", by=group_cols)
+    headers = [*group_cols, "runs", "mean depth", "std", "mean fidelity"]
+    rows = []
+    for group, stats in depth.items():
+        key = group if isinstance(group, tuple) else (group,)
+        rows.append([
+            *key, stats.count, f"{stats.mean:.2f}", f"{stats.std:.2f}",
+            f"{fidelity[group].mean:.4f}",
+        ])
+    return format_table(headers, rows)
+
+
+def store_status_report(store: Union[str, Path, "RunStore"]) -> str:
+    """Manifest summary of a run store (the ``status`` subcommand body)."""
+    from repro.study.store import RunStore
+
+    if not isinstance(store, RunStore):
+        store = RunStore.load(store)
+    summary = store.summary()
+    state = "complete" if summary["complete"] else "in progress"
+    rows = [
+        ["study", summary["name"] or "(unnamed)"],
+        ["state", state],
+        ["chunks", f"{summary['done_chunks']}/{summary['total_chunks']}"],
+        ["runs", f"{summary['done_tasks']}/{summary['total_tasks']}"],
+        ["cells", summary["cells"]],
+        ["chunk size", summary["chunk_size"]],
+        ["benchmarks", ", ".join(summary["benchmarks"])],
+        ["designs", ", ".join(summary["designs"])],
+        ["plan fingerprint", summary["fingerprint"][:16] + "…"],
+    ]
+    return (f"store: {summary['path']}\n"
+            + format_table(["field", "value"], rows))
 
 
 def relative_depth_report(comparisons: Iterable["BenchmarkComparison"]) -> str:

@@ -1,10 +1,12 @@
 """Stable extension facade: every pluggable registry behind one import.
 
-The library is organised around string-keyed registries — benchmarks,
+The library is organised around five string-keyed registries — benchmarks,
 designs, execution backends, partitioning strategies, and interconnect
 topologies.  This module re-exports each registry's lookup / listing /
 registration functions so third-party code has a single, entry-point-style
-integration surface::
+integration surface; every exported name carries a usage example in its
+docstring, and ``docs/extending.md`` walks through a worked ``register_*``
+call per registry::
 
     from repro import api
 
@@ -22,6 +24,11 @@ Once registered, the names work everywhere a built-in does:
 ``SystemConfig(partition_method="annealed", topology="dumbbell")``, study
 axes (``Axis("partition_method", [...])``), spec files, and the
 ``python -m repro`` CLI.
+
+The ``REPRO_EXEC`` knob (``execution_mode`` / ``BATCHED`` / ``LEGACY``)
+selects between the batched execution core and the reference per-gate
+executor — both bit-identical per seed — and ``REPRO_BACKEND`` picks the
+default execution backend; see ``docs/architecture.md``.
 """
 
 from repro.benchmarks.registry import (
@@ -29,6 +36,7 @@ from repro.benchmarks.registry import (
     build_benchmark,
     get_benchmark,
     list_benchmarks,
+    register_benchmark,
 )
 from repro.engine.backends import (
     ExecutionBackend,
@@ -50,7 +58,12 @@ from repro.partitioning.registry import (
     list_partitioners,
     register_partitioner,
 )
-from repro.runtime.designs import DesignSpec, get_design, list_designs
+from repro.runtime.designs import (
+    DesignSpec,
+    get_design,
+    list_designs,
+    register_design,
+)
 from repro.runtime.execmode import BATCHED, EXEC_ENV_VAR, LEGACY, execution_mode
 
 __all__ = [
@@ -71,10 +84,12 @@ __all__ = [
     "get_benchmark",
     "build_benchmark",
     "list_benchmarks",
+    "register_benchmark",
     # designs
     "DesignSpec",
     "get_design",
     "list_designs",
+    "register_design",
     # execution backends
     "ExecutionBackend",
     "get_backend",

@@ -33,6 +33,7 @@ __all__ = [
     "get_benchmark",
     "build_benchmark",
     "list_benchmarks",
+    "register_benchmark",
     "benchmark_properties",
 ]
 
@@ -54,6 +55,12 @@ class BenchmarkSpec:
         report (``None`` where the paper does not report a value).
     description:
         One-line human description.
+
+    Example
+    -------
+    >>> spec = BenchmarkSpec("GHZ-4", 4, lambda: ghz_circuit(4))  # doctest: +SKIP
+    >>> spec.build().num_qubits  # doctest: +SKIP
+    4
     """
 
     name: str
@@ -141,8 +148,49 @@ BENCHMARKS: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in _spec_list()
 
 
 def list_benchmarks() -> List[str]:
-    """Names of all registered benchmarks, in Table I order."""
+    """Names of all registered benchmarks, in Table I order.
+
+    Example
+    -------
+    >>> from repro.benchmarks.registry import list_benchmarks
+    >>> "TLIM-32" in list_benchmarks()
+    True
+    """
     return list(BENCHMARKS)
+
+
+def register_benchmark(spec: BenchmarkSpec,
+                       overwrite: bool = False) -> BenchmarkSpec:
+    """Register a benchmark spec under its name.
+
+    The entry-point for third-party workloads: once registered, the name is
+    usable everywhere a Table I benchmark is — ``Study(benchmarks=...)``,
+    spec files, and the CLI.  Returns the spec for call-site chaining.
+
+    Example
+    -------
+    ::
+
+        from repro import api
+
+        api.register_benchmark(api.BenchmarkSpec(
+            name="GHZ-8", num_qubits=8, builder=build_ghz_circuit,
+            description="8-qubit GHZ state preparation"))
+        Study(benchmarks="GHZ-8", num_runs=5).run()
+    """
+    if not spec.name:
+        raise BenchmarkError("benchmark spec needs a non-empty name")
+    existing = next((key for key in BENCHMARKS
+                     if key.lower() == spec.name.lower()), None)
+    if existing is not None and not overwrite:
+        raise BenchmarkError(
+            f"benchmark {spec.name!r} is already registered; pass "
+            f"overwrite=True to replace it"
+        )
+    if existing is not None:
+        del BENCHMARKS[existing]
+    BENCHMARKS[spec.name] = spec
+    return spec
 
 
 #: Synthesised family specs, memoised so repeated lookups share one spec.
@@ -210,6 +258,12 @@ def get_benchmark(name: str) -> BenchmarkSpec:
     TLIM / QAOA / QFT families (e.g. ``QAOA-r4-16``) are synthesised on
     demand.  Invalid sizes surface as :class:`BenchmarkError` when the
     circuit is built.
+
+    Example
+    -------
+    >>> from repro.benchmarks.registry import get_benchmark
+    >>> get_benchmark("qaoa-r4-16").num_qubits
+    16
     """
     for key, spec in BENCHMARKS.items():
         if key.lower() == name.lower():
@@ -224,7 +278,14 @@ def get_benchmark(name: str) -> BenchmarkSpec:
 
 
 def build_benchmark(name: str) -> QuantumCircuit:
-    """Build the circuit for a named benchmark."""
+    """Build the circuit for a named benchmark.
+
+    Example
+    -------
+    >>> from repro.benchmarks.registry import build_benchmark
+    >>> build_benchmark("QFT-16").num_qubits
+    16
+    """
     return get_benchmark(name).build()
 
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 import os
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -40,6 +40,7 @@ from repro.runtime.metrics import ExecutionResult
 __all__ = [
     "ExecutionTask",
     "ExecutionBackend",
+    "ResultSink",
     "SerialBackend",
     "ProcessPoolBackend",
     "chunk_tasks",
@@ -96,6 +97,24 @@ def chunk_tasks(tasks: Sequence[ExecutionTask],
     return chunks
 
 
+#: Streaming consumer of per-chunk results: called as ``sink(start, batch)``
+#: where ``start`` is the index of the chunk's first task in the submitted
+#: task list and ``batch`` the chunk's results in task order.  Chunks arrive
+#: in *completion* order (parallel backends finish chunks out of order).  A
+#: sink may expose a ``chunk_size`` attribute as a granularity hint, which
+#: backends use to cap their internal chunking so streamed units align with
+#: the consumer's (e.g. a run store's) durable chunk boundaries.
+ResultSink = Callable[[int, List[ExecutionResult]], None]
+
+
+def _sink_chunk_hint(sink: Optional[ResultSink]) -> Optional[int]:
+    """The sink's preferred chunk granularity, if it declares one."""
+    if sink is None:
+        return None
+    hint = getattr(sink, "chunk_size", None)
+    return int(hint) if hint else None
+
+
 class ExecutionBackend(ABC):
     """Strategy for running a batch of execution tasks.
 
@@ -103,13 +122,26 @@ class ExecutionBackend(ABC):
     :class:`SerialBackend` for the same tasks (execution is deterministic
     per seed).  Backends are reusable across :meth:`execute` calls and
     usable as context managers; :meth:`close` releases any worker state.
+
+    Besides returning the full ordered result list, backends *stream*: an
+    optional ``sink`` receives every internal ``(cell, seed-chunk)`` batch
+    as it completes, which is what lets a
+    :class:`~repro.study.store.RunStore` persist progress incrementally and
+    progress reporting observe a running study.  Streaming never changes
+    the returned results — execution is deterministic per seed regardless
+    of chunking.
     """
 
     name: str = "abstract"
 
     @abstractmethod
-    def execute(self, tasks: Sequence[ExecutionTask]) -> List[ExecutionResult]:
-        """Run every task and return results in task order."""
+    def execute(self, tasks: Sequence[ExecutionTask],
+                sink: Optional[ResultSink] = None) -> List[ExecutionResult]:
+        """Run every task and return results in task order.
+
+        When ``sink`` is given, additionally deliver each completed chunk
+        to it (in completion order) before returning.
+        """
 
     def close(self) -> None:
         """Release backend resources (no-op by default)."""
@@ -130,10 +162,21 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def execute(self, tasks: Sequence[ExecutionTask]) -> List[ExecutionResult]:
+    def execute(self, tasks: Sequence[ExecutionTask],
+                sink: Optional[ResultSink] = None) -> List[ExecutionResult]:
+        # Without a sink the whole run of one cell is a single batch; a
+        # sink's granularity hint bounds the batches so durable chunks
+        # become visible (and persistable) as soon as they complete.
+        chunk_size = len(tasks) or 1
+        hint = _sink_chunk_hint(sink)
+        if hint is not None:
+            chunk_size = min(chunk_size, hint)
         results: List[ExecutionResult] = []
-        for cell, seeds in chunk_tasks(tasks, chunk_size=len(tasks) or 1):
-            results.extend(cell.execute_batch(seeds))
+        for cell, seeds in chunk_tasks(tasks, chunk_size=chunk_size):
+            batch = cell.execute_batch(seeds)
+            if sink is not None:
+                sink(len(results), batch)
+            results.extend(batch)
         return results
 
 
@@ -242,25 +285,43 @@ class ProcessPoolBackend(ExecutionBackend):
             return self.chunksize
         return max(1, math.ceil(num_tasks / (self._workers() * _CHUNKS_PER_WORKER)))
 
-    def execute(self, tasks: Sequence[ExecutionTask]) -> List[ExecutionResult]:
+    def execute(self, tasks: Sequence[ExecutionTask],
+                sink: Optional[ResultSink] = None) -> List[ExecutionResult]:
         tasks = list(tasks)
         if not tasks:
             return []
-        chunks = chunk_tasks(tasks, self._chunk_size(len(tasks)))
+        chunk_size = self._chunk_size(len(tasks))
+        hint = _sink_chunk_hint(sink)
+        if hint is not None:
+            chunk_size = min(chunk_size, hint)
+        chunks = chunk_tasks(tasks, chunk_size)
         if self._workers() == 1:
             results: List[ExecutionResult] = []
             for cell, seeds in chunks:
-                results.extend(cell.execute_batch(seeds))
+                batch = cell.execute_batch(seeds)
+                if sink is not None:
+                    sink(len(results), batch)
+                results.extend(batch)
             return results
         cells = {chunk[0].cache_key: chunk[0] for chunk in chunks}
         pool = self._ensure_pool(cells)
-        futures = [
-            pool.submit(_run_seed_chunk, (cell.cache_key, tuple(seeds)))
-            for cell, seeds in chunks
-        ]
+        start_of: Dict[object, int] = {}
+        offset = 0
+        for cell, seeds in chunks:
+            future = pool.submit(_run_seed_chunk, (cell.cache_key, tuple(seeds)))
+            start_of[future] = offset
+            offset += len(seeds)
+        # Collect in completion order so the sink observes (and can persist)
+        # chunks the moment workers finish them, then reassemble positionally.
+        collected: Dict[int, List[ExecutionResult]] = {}
+        for future in as_completed(start_of):
+            batch = future.result()
+            if sink is not None:
+                sink(start_of[future], batch)
+            collected[start_of[future]] = batch
         results: List[ExecutionResult] = []
-        for future in futures:
-            results.extend(future.result())
+        for start in sorted(collected):
+            results.extend(collected[start])
         return results
 
     def close(self) -> None:
@@ -284,12 +345,39 @@ _BACKENDS: Dict[str, Callable[[], ExecutionBackend]] = {
 
 def register_backend(name: str,
                      factory: Callable[[], ExecutionBackend]) -> None:
-    """Register a custom backend factory under ``name``."""
+    """Register a custom backend factory under ``name``.
+
+    Once registered, the name works everywhere a built-in does —
+    ``Study(backend=...)``, ``--backend`` on the CLI, and the
+    ``REPRO_BACKEND`` environment variable.
+
+    Example
+    -------
+    ::
+
+        from repro import api
+
+        class SlurmBackend(api.ExecutionBackend):
+            name = "slurm"
+
+            def execute(self, tasks, sink=None):
+                ...  # dispatch chunks to the cluster, stream to sink
+
+        api.register_backend("slurm", SlurmBackend)
+        Study(benchmarks="QFT-32", backend="slurm").run()
+    """
     _BACKENDS[name.lower()] = factory
 
 
 def list_backends() -> List[str]:
-    """Registered backend names."""
+    """Registered backend names.
+
+    Example
+    -------
+    >>> from repro.engine.backends import list_backends
+    >>> "serial" in list_backends() and "process" in list_backends()
+    True
+    """
     return sorted(_BACKENDS)
 
 
@@ -299,6 +387,12 @@ def get_backend(backend: BackendLike = None) -> ExecutionBackend:
     ``None`` consults the ``REPRO_BACKEND`` environment variable (so whole
     studies, the CLI, and the figure harnesses share one knob) and falls
     back to a fresh :class:`SerialBackend`.
+
+    Example
+    -------
+    >>> from repro.engine.backends import get_backend
+    >>> get_backend("process").name
+    'process'
     """
     if backend is None:
         backend = os.environ.get(BACKEND_ENV_VAR) or None

@@ -60,5 +60,9 @@ class ConfigurationError(ReproError):
     """Raised for inconsistent experiment or system configuration."""
 
 
+class StoreError(ReproError):
+    """Raised for invalid, mismatched, or corrupt durable run stores."""
+
+
 class BenchmarkError(ReproError):
     """Raised when a benchmark circuit cannot be generated as requested."""

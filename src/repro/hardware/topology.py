@@ -52,6 +52,12 @@ class Topology:
         One-line human description (shown by ``repro list-topologies``).
     min_nodes:
         Smallest node count the rule is defined for.
+
+    Example
+    -------
+    >>> chain = Topology("chain3", lambda n: [(i, i + 1) for i in range(n - 1)])
+    >>> chain.links(3)
+    [(0, 1), (1, 2)]
     """
 
     name: str
@@ -166,7 +172,14 @@ def _grid_topology(name: str) -> Optional[Topology]:
 
 def list_topologies() -> List[str]:
     """Names of the registered topologies (the ``grid-RxC`` family resolves
-    on demand without appearing here, like benchmark family names)."""
+    on demand without appearing here, like benchmark family names).
+
+    Example
+    -------
+    >>> from repro.hardware.topology import list_topologies
+    >>> "all_to_all" in list_topologies()
+    True
+    """
     return list(TOPOLOGIES)
 
 
@@ -176,6 +189,12 @@ def get_topology(topology) -> Topology:
     Registered names resolve to their registry entries; ``grid-RxC`` names
     are synthesised on demand.  :class:`Topology` instances pass through
     unchanged, so APIs taking ``topology`` accept both forms.
+
+    Example
+    -------
+    >>> from repro.hardware.topology import get_topology
+    >>> get_topology("grid-2x3").links(6)
+    [(0, 1), (0, 3), (1, 2), (1, 4), (2, 5), (3, 4), (4, 5)]
     """
     if isinstance(topology, Topology):
         return topology
@@ -198,6 +217,17 @@ def register_topology(topology: Topology, overwrite: bool = False) -> Topology:
     The entry-point for third-party interconnects: once registered, the name
     is usable everywhere a built-in is — ``SystemConfig(topology=...)``,
     study axes, and the CLI.  Returns the topology for call-site chaining.
+
+    Example
+    -------
+    ::
+
+        from repro import api
+
+        api.register_topology(api.Topology(
+            "dumbbell", lambda n: [(0, 1)],
+            description="two hubs joined by one link"))
+        SystemConfig(num_nodes=2, topology="dumbbell")  # now a valid name
     """
     key = topology.name.lower()
     if not overwrite and key in TOPOLOGIES:
@@ -218,6 +248,14 @@ def validate_remote_pairs(architecture, remote_pairs: Sequence[NodePair],
     Raises :class:`TopologyError` naming the unlinked pairs — the compile
     stage calls this so an infeasible (topology, partition) combination
     fails with a clear message instead of deep inside the executor.
+
+    Example
+    -------
+    ::
+
+        architecture = SystemConfig(num_nodes=4, topology="ring").build_architecture()
+        validate_remote_pairs(architecture, program.remote_pairs(),
+                              context=f"program {program.name!r}")
     """
     linked = set(architecture.node_pairs())
     missing = sorted(set(remote_pairs) - linked)

@@ -48,6 +48,21 @@ class Partitioner(ABC):
     (whether ``num_blocks > 2`` is accepted), and implement
     :meth:`partition`.  Instances are stateless and shared; calling one is
     equivalent to calling :meth:`partition`.
+
+    Example
+    -------
+    ::
+
+        class Halves(Partitioner):
+            name = "halves"
+            supports_k_way = False
+            description = "first half / second half"
+
+            def partition(self, graph, num_blocks=2, seed=0):
+                self._require_bisection(num_blocks)
+                half = graph.num_vertices // 2
+                return Partition({v: int(v >= half)
+                                  for v in range(graph.num_vertices)}, 2)
     """
 
     #: Registry key (lower-case canonical form).
@@ -196,6 +211,23 @@ def register_partitioner(partitioner: Partitioner,
 
     The entry-point for third-party algorithms: once registered, the name is
     usable everywhere a built-in is.  Returns the partitioner for chaining.
+
+    Example
+    -------
+    ::
+
+        from repro import api
+
+        class Annealed(api.Partitioner):
+            name = "annealed"
+            supports_k_way = True
+            description = "simulated-annealing refinement"
+
+            def partition(self, graph, num_blocks=2, seed=0):
+                ...
+
+        api.register_partitioner(Annealed(), aliases=("sa",))
+        SystemConfig(partition_method="annealed")   # now a valid name
     """
     key = partitioner.name.lower()
     if not overwrite and key in PARTITIONERS:
@@ -215,6 +247,12 @@ def get_partitioner(method: Union[str, Partitioner]) -> Partitioner:
     Accepts canonical names, registered aliases (``"kl"``, ``"fm"``), and
     :class:`Partitioner` instances (returned unchanged), so every API taking
     ``method`` transparently supports ad-hoc strategy objects.
+
+    Example
+    -------
+    >>> from repro.partitioning.registry import get_partitioner
+    >>> get_partitioner("kl").name
+    'kernighan_lin'
     """
     if isinstance(method, Partitioner):
         return method
@@ -231,7 +269,14 @@ def get_partitioner(method: Union[str, Partitioner]) -> Partitioner:
 
 
 def list_partitioners() -> List[str]:
-    """Canonical names of the registered partitioners, in registration order."""
+    """Canonical names of the registered partitioners, in registration order.
+
+    Example
+    -------
+    >>> from repro.partitioning.registry import list_partitioners
+    >>> "multilevel" in list_partitioners()
+    True
+    """
     return list(PARTITIONERS)
 
 

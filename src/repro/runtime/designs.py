@@ -26,7 +26,8 @@ from typing import Dict, List, Optional
 from repro.entanglement.attempts import AttemptPolicy
 from repro.exceptions import ConfigurationError
 
-__all__ = ["DesignSpec", "DESIGNS", "get_design", "list_designs"]
+__all__ = ["DesignSpec", "DESIGNS", "get_design", "list_designs",
+           "register_design"]
 
 
 @dataclass(frozen=True)
@@ -70,7 +71,16 @@ class DesignSpec:
             raise ConfigurationError("the ideal design uses no DQC machinery")
 
     def with_overrides(self, **changes) -> "DesignSpec":
-        """Return a copy with some fields replaced (ablation studies)."""
+        """Return a copy with some fields replaced (ablation studies).
+
+        Example
+        -------
+        >>> from repro.runtime.designs import get_design
+        >>> cutoff = get_design("adapt_buf").with_overrides(
+        ...     name="adapt_cutoff", buffer_cutoff=40.0)
+        >>> cutoff.buffer_cutoff
+        40.0
+        """
         return replace(self, **changes)
 
 
@@ -122,15 +132,66 @@ DESIGN_ORDER: List[str] = [
 
 
 def list_designs() -> List[str]:
-    """Design names in the paper's figure order."""
+    """Design names in the paper's figure order.
+
+    Example
+    -------
+    >>> from repro.runtime.designs import list_designs
+    >>> list_designs()[0], list_designs()[-1]
+    ('original', 'ideal')
+    """
     return list(DESIGN_ORDER)
 
 
 def get_design(name: str) -> DesignSpec:
-    """Look up a design spec by (case-insensitive) name."""
+    """Look up a design spec by (case-insensitive) name.
+
+    Example
+    -------
+    >>> from repro.runtime.designs import get_design
+    >>> get_design("adapt_buf").adaptive_scheduling
+    True
+    """
     key = name.lower()
     if key not in DESIGNS:
         raise ConfigurationError(
             f"unknown design {name!r}; available: {', '.join(DESIGN_ORDER)}"
         )
     return DESIGNS[key]
+
+
+def register_design(spec: DesignSpec, overwrite: bool = False) -> DesignSpec:
+    """Register a design spec under its (lower-cased) name.
+
+    The entry-point for third-party architecture variants: once registered,
+    the name works everywhere a built-in design does —
+    ``Study(designs=[...])``, spec files, and the CLI — and it joins
+    :func:`list_designs` after the paper's six.  For one-off ablations,
+    passing an explicit :class:`DesignSpec` (e.g. from
+    :meth:`DesignSpec.with_overrides`) needs no registration at all.
+    Returns the spec for call-site chaining.
+
+    Example
+    -------
+    ::
+
+        from repro import api
+
+        cutoff = api.get_design("adapt_buf").with_overrides(
+            name="adapt_cutoff", buffer_cutoff=40.0)
+        api.register_design(cutoff)
+        Study(benchmarks="TLIM-32", designs=["adapt_buf", "adapt_cutoff"],
+              num_runs=10).run()
+    """
+    key = spec.name.lower()
+    if not key:
+        raise ConfigurationError("design spec needs a non-empty name")
+    if key in DESIGNS and not overwrite:
+        raise ConfigurationError(
+            f"design {spec.name!r} is already registered; pass "
+            f"overwrite=True to replace it"
+        )
+    DESIGNS[key] = spec
+    if key not in DESIGN_ORDER:
+        DESIGN_ORDER.append(key)
+    return spec

@@ -37,6 +37,12 @@ def execution_mode(override: Optional[str] = None) -> str:
 
     ``override`` (when given) wins over the ``REPRO_EXEC`` environment
     variable; an unset environment defaults to the batched core.
+
+    Example
+    -------
+    >>> from repro.runtime.execmode import execution_mode
+    >>> execution_mode("legacy")
+    'legacy'
     """
     mode = override if override is not None else os.environ.get(EXEC_ENV_VAR)
     if mode is None or mode == "":

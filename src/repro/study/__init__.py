@@ -8,11 +8,19 @@ JSON/CSV-serialisable :class:`ResultSet` of per-run records.
 
 The ``python -m repro`` command line (:mod:`repro.study.cli`) executes
 studies from flags or JSON spec files.
+
+Long-running studies persist through a :class:`RunStore`
+(:mod:`repro.study.store`): ``Study.run(store=...)`` streams every
+completed ``(cell, seed-chunk)`` batch to append-only JSONL shards behind
+an atomic manifest, skips chunks a previous (possibly killed) invocation
+already committed, and reports :class:`ProgressEvent` snapshots, so
+interrupted sweeps resume bit-identically instead of starting over.
 """
 
 from repro.study.grid import Axis, GridSpec
 from repro.study.plan import ExecutionPlan, PlanCell
-from repro.study.results import ResultSet, RunRecord
+from repro.study.results import ResultSet, RunRecord, aggregate_stream
+from repro.study.store import ProgressEvent, RunStore, StoreChunk
 from repro.study.study import Study
 
 __all__ = [
@@ -22,5 +30,9 @@ __all__ = [
     "ExecutionPlan",
     "RunRecord",
     "ResultSet",
+    "aggregate_stream",
+    "ProgressEvent",
+    "RunStore",
+    "StoreChunk",
     "Study",
 ]

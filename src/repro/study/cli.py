@@ -14,6 +14,20 @@ Subcommands
             --axis comm_qubits_per_node,buffer_qubits_per_node=10:10,15:15,20:20
         python -m repro sweep --spec study.json --out results.json
 
+    With ``--store DIR`` results stream to a durable run store as chunks
+    complete, and re-running the identical command *resumes* — chunks the
+    store already holds are skipped, and the final output is byte-identical
+    to an uninterrupted run::
+
+        python -m repro sweep --spec study.json --store runs/fig5
+        # ... killed mid-way ...
+        python -m repro sweep --spec study.json --store runs/fig5  # resumes
+
+``status``
+    Summarise a run store's manifest (progress, benchmarks, fingerprint)::
+
+        python -m repro status --store runs/fig5
+
 ``list-benchmarks`` / ``list-designs`` / ``list-partitioners`` / ``list-topologies``
     Show the registered benchmark suite, the paper's designs, the pluggable
     partitioning strategies, and the interconnect topologies.
@@ -31,9 +45,9 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, TextIO
 
-from repro.analysis.report import format_table
+from repro.analysis.report import format_table, store_status_report, summary_report
 from repro.benchmarks.registry import get_benchmark, list_benchmarks
 from repro.core.config import SystemConfig
 from repro.engine.backends import list_backends
@@ -43,6 +57,7 @@ from repro.partitioning.registry import PARTITIONERS, list_partitioners
 from repro.runtime.designs import DESIGNS, list_designs
 from repro.study.grid import Axis
 from repro.study.results import ResultSet
+from repro.study.store import ProgressEvent, RunStore
 from repro.study.study import Study
 
 __all__ = ["main", "build_parser", "parse_axis"]
@@ -122,8 +137,30 @@ def _add_study_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--out", "-o", default=None, metavar="PATH",
                         help="write the ResultSet as JSON (or CSV if the "
                              "path ends in .csv)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="durable run store directory: results stream "
+                             "to append-only shards as chunks complete, and "
+                             "re-running the same study against the same "
+                             "store resumes, skipping completed chunks")
+    parser.add_argument("--resume", action="store_true",
+                        help="require --store to already hold a started "
+                             "study (guards against a typo'd store path "
+                             "silently starting from scratch)")
+    parser.add_argument("--max-chunks", type=int, default=None, metavar="N",
+                        help="execute at most N new chunks this invocation, "
+                             "then stop; with --store the progress is kept "
+                             "and the next invocation continues")
+    parser.add_argument("--store-chunk-size", type=int, default=None,
+                        metavar="N",
+                        help="seeds per store chunk for a fresh store "
+                             "(default 32; an existing store keeps its "
+                             "committed layout)")
+    parser.add_argument("--json-progress", action="store_true",
+                        help="emit one JSON progress object per completed "
+                             "chunk on stdout (suppresses the summary "
+                             "table)")
     parser.add_argument("--quiet", "-q", action="store_true",
-                        help="suppress the summary table")
+                        help="suppress the summary table and progress line")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -146,6 +183,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--spec", default=None, metavar="FILE",
                        help="JSON study spec file (flags override its "
                             "runs/seed/backend)")
+
+    status = sub.add_parser(
+        "status", help="summarise a run store's manifest")
+    status.add_argument("--store", required=True, metavar="DIR",
+                        help="run store directory to inspect")
+    status.add_argument("--json", action="store_true",
+                        help="print the summary as JSON instead of a table")
 
     sub.add_parser("list-benchmarks", help="show the registered benchmarks")
     sub.add_parser("list-designs", help="show the paper's designs")
@@ -226,22 +270,6 @@ def _study_from_args(args: argparse.Namespace) -> Study:
     )
 
 
-def _summary_table(results: ResultSet) -> str:
-    params = results.param_keys()
-    group_cols = [*params, "benchmark", "design"]
-    depth = results.aggregate("depth", by=group_cols)
-    fidelity = results.aggregate("fidelity", by=group_cols)
-    headers = [*group_cols, "runs", "mean depth", "std", "mean fidelity"]
-    rows = []
-    for group, stats in depth.items():
-        key = group if isinstance(group, tuple) else (group,)
-        rows.append([
-            *key, stats.count, f"{stats.mean:.2f}", f"{stats.std:.2f}",
-            f"{fidelity[group].mean:.4f}",
-        ])
-    return format_table(headers, rows)
-
-
 def _write_output(results: ResultSet, path: str) -> None:
     if path.endswith(".csv"):
         results.to_csv(path)
@@ -249,21 +277,112 @@ def _write_output(results: ResultSet, path: str) -> None:
         results.to_json(path)
 
 
+class _ProgressLine:
+    """Render progress events as a live line (TTY) or a sparse log.
+
+    A terminal gets a single carriage-return-updated line; a pipe (CI log)
+    gets the first event, every tenth, and the last, so long sweeps do not
+    flood the log with one line per chunk.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._tty = bool(getattr(self._stream, "isatty", lambda: False)())
+        self._width = 0
+        self._events = 0
+
+    def __call__(self, event: ProgressEvent) -> None:
+        line = (f"chunks {event.done_chunks}/{event.total_chunks}"
+                f"  runs {event.done_tasks}/{event.total_tasks}")
+        if event.runs_per_second > 0:
+            line += f"  {event.runs_per_second:.1f} runs/s"
+        if event.resumed_chunks:
+            line += f"  ({event.resumed_chunks} chunks resumed)"
+        self._events += 1
+        if self._tty:
+            self._width = max(self._width, len(line))
+            print("\r" + line.ljust(self._width), end="",
+                  file=self._stream, flush=True)
+        elif self._events == 1 or self._events % 10 == 0 or event.complete:
+            print(line, file=self._stream, flush=True)
+
+    def close(self) -> None:
+        """Terminate the live line so later output starts on a fresh row."""
+        if self._tty and self._width:
+            print(file=self._stream)
+            self._width = 0
+
+
+def _json_progress(event: ProgressEvent) -> None:
+    print(json.dumps(event.to_dict()), flush=True)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    store_path = getattr(args, "store", None)
+    if args.resume:
+        if store_path is None:
+            raise ReproError("--resume needs --store DIR")
+        if not RunStore(store_path).is_started:
+            raise ReproError(
+                f"--resume: {store_path} holds no started study; drop "
+                f"--resume to start one, or check the store path"
+            )
+    if args.max_chunks is not None and args.max_chunks < 0:
+        raise ReproError("--max-chunks cannot be negative")
     study = _study_from_args(args)
     plan = study.plan()
+    store = (RunStore(store_path, chunk_size=args.store_chunk_size)
+             if store_path is not None else None)
+    streamed = (store is not None or args.max_chunks is not None
+                or args.json_progress)
+    line: Optional[_ProgressLine] = None
+    progress = None
+    if args.json_progress:
+        progress = _json_progress
+    elif streamed and not args.quiet:
+        line = _ProgressLine()
+        progress = line
     try:
-        results = study.run(plan)
+        if streamed:
+            results = study.run(plan, store=store, progress=progress,
+                                max_chunks=args.max_chunks,
+                                store_chunk_size=args.store_chunk_size)
+        else:
+            results = study.run(plan)
+    except KeyboardInterrupt:
+        if store is not None:
+            print(f"repro: interrupted — completed chunks are durable in "
+                  f"{store_path}; re-run the same command to resume",
+                  file=sys.stderr)
+        return 130
     finally:
+        # Terminate the live progress line on every exit path (including
+        # errors) so diagnostics never append to a half-drawn row.
+        if line is not None:
+            line.close()
         study.close()
     if args.out:
         _write_output(results, args.out)
-    if not args.quiet:
+    if not args.quiet and not args.json_progress:
         print(f"study: {len(plan)} cells, {plan.num_tasks} runs, "
               f"{len(plan.systems())} system configuration(s)")
-        print(_summary_table(results))
+        print(summary_report(results))
         if args.out:
             print(f"written: {args.out}")
+    if store is not None and not store.is_complete:
+        summary = store.summary()
+        print(f"repro: store {store_path} is at "
+              f"{summary['done_chunks']}/{summary['total_chunks']} chunks; "
+              f"re-run the same command to resume", file=sys.stderr)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    store = RunStore.load(args.store)
+    if args.json:
+        print(json.dumps(store.summary(), indent=2))
+    else:
+        print(store_status_report(store))
     return 0
 
 
@@ -339,6 +458,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command in ("run", "sweep"):
             return _cmd_run(args)
+        if args.command == "status":
+            return _cmd_status(args)
         if args.command == "list-benchmarks":
             return _cmd_list_benchmarks()
         if args.command == "list-designs":

@@ -34,7 +34,7 @@ from repro.core.results import BenchmarkComparison, DesignSummary
 from repro.exceptions import ConfigurationError
 from repro.runtime.metrics import ExecutionResult
 
-__all__ = ["RunRecord", "ResultSet"]
+__all__ = ["RunRecord", "ResultSet", "aggregate_stream"]
 
 #: Metric columns of a record, in stable serialisation order.
 METRIC_FIELDS: Tuple[str, ...] = (
@@ -341,6 +341,24 @@ class ResultSet:
         """Read a set previously written with ``to_json(path)``."""
         return cls.from_json(Path(path).read_text())
 
+    @classmethod
+    def from_store(cls, source: Union[str, Path, Any],
+                   allow_partial: bool = False) -> "ResultSet":
+        """Load a set from a durable :class:`~repro.study.store.RunStore`.
+
+        ``source`` is a store directory (or an open store).  Records are
+        streamed shard by shard in plan order, so the result — including
+        its ``to_json`` text — is byte-identical to what ``Study.run``
+        returned for the same plan.  An incomplete store raises
+        :class:`~repro.exceptions.StoreError` unless ``allow_partial``;
+        for aggregation that never materialises the records at all, feed
+        ``RunStore.iter_records()`` to :func:`aggregate_stream` instead.
+        """
+        from repro.study.store import RunStore
+
+        store = source if isinstance(source, RunStore) else RunStore.load(source)
+        return store.load_results(allow_partial=allow_partial)
+
     def to_csv(self, path: Optional[Union[str, Path]] = None) -> str:
         """Serialise to CSV with the stable :meth:`to_records` columns."""
         columns = [*KEY_FIELDS, *self.param_keys(), *METRIC_FIELDS]
@@ -358,3 +376,33 @@ class ResultSet:
         if path is not None:
             Path(path).write_text(text)
         return text
+
+
+def aggregate_stream(records: Iterator[RunRecord], metric: str,
+                     by: Union[str, Sequence[str]] = ()
+                     ) -> Dict[GroupKey, SampleStatistics]:
+    """Incremental :meth:`ResultSet.aggregate` over a record *stream*.
+
+    Consumes any iterable of records — typically
+    ``RunStore.iter_records()``, which reads one shard chunk at a time —
+    while holding only the grouped metric values (floats), never the
+    records themselves, so a million-run store aggregates in bounded
+    memory.  Group keys, value order, and therefore the statistics are
+    identical to materialising the set and calling ``aggregate``.
+    """
+    if isinstance(by, str):
+        by = [by]
+    by = list(by)
+    groups: Dict[GroupKey, List[float]] = {}
+    for record in records:
+        if not by:
+            group: GroupKey = ()
+        else:
+            values = tuple(record.get(key) for key in by)
+            group = values[0] if len(by) == 1 else values
+        groups.setdefault(group, []).append(record.get(metric))
+    if not groups and not by:
+        # Match ResultSet.aggregate on an empty set, which lets summarize
+        # raise its explicit empty-sample error instead of returning {}.
+        return {(): summarize([])}
+    return {group: summarize(values) for group, values in groups.items()}

@@ -1,0 +1,646 @@
+"""Durable, resumable run store for studies.
+
+A :class:`RunStore` is a directory that accumulates study results as they
+are produced, so a long sweep survives a kill and re-enters where it left
+off instead of losing everything held in memory:
+
+* every ``(cell, seed-chunk)`` batch is appended to an **append-only JSONL
+  shard** (one shard per plan cell, one line per run record) the moment the
+  backend completes it,
+* an immutable **manifest** (``manifest.json``, written once via temp-file
+  + ``os.replace``) records the store's identity — plan fingerprint, study
+  description, cell layout, chunk size — and
+* an append-only **chunk log** (``chunks.log``, one fsynced JSON line per
+  committed chunk with its shard byte range and checksum) records which
+  chunks are durably complete.  Committing a chunk is therefore O(1)
+  regardless of how many chunks the study has — a million-run sweep never
+  rewrites its full state per chunk.
+
+The store is keyed by the study's *plan fingerprint* — a SHA-256 over every
+plan cell's configuration fingerprint (benchmark, design, full
+``SystemConfig``, scheduling knobs, seeds) plus the partition seed — so a
+directory can only ever be resumed by the exact same plan; anything else is
+rejected with :class:`~repro.exceptions.StoreError`.  Because execution is
+deterministic per seed, a resumed study reproduces the uninterrupted run
+bit for bit: completed chunks are read back from the shards, missing chunks
+are executed, and the merged :class:`~repro.study.results.ResultSet`
+serialises byte-identically to the all-in-memory path.
+
+Crash safety relies on ordering: shard bytes are flushed and fsynced
+*before* the chunk-log line commits them, so a kill at any point leaves at
+worst an orphaned shard tail and/or a torn final log line, both of which
+:meth:`RunStore.begin` discards on the next open.  The store is
+single-writer — :meth:`begin` takes an exclusive advisory lock (``flock``
+on ``lock``) so a second concurrent invocation fails immediately with
+:class:`~repro.exceptions.StoreError` instead of silently interleaving
+appends; reads need no lock.  A shard shorter than its committed length, a
+checksum mismatch, or an unparsable committed line all raise
+:class:`~repro.exceptions.StoreError` naming the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+from repro.exceptions import ConfigurationError, StoreError
+from repro.study.results import ResultSet, RunRecord
+
+__all__ = [
+    "RunStore",
+    "StoreChunk",
+    "ProgressEvent",
+    "chunk_layout",
+    "DEFAULT_CHUNK_SIZE",
+]
+
+#: Seeds per store chunk when the caller does not choose one.  Small enough
+#: that an interrupted study rarely loses more than a few seconds of work,
+#: large enough that per-chunk commit overhead stays a negligible fraction
+#: of execution time.
+DEFAULT_CHUNK_SIZE = 32
+
+_MANIFEST = "manifest.json"
+_CHUNK_LOG = "chunks.log"
+_LOCK = "lock"
+_SHARD_DIR = "shards"
+
+
+@dataclass(frozen=True)
+class StoreChunk:
+    """One durable unit of study progress: a seed range of one plan cell."""
+
+    cell: int
+    start: int
+    count: int
+
+    @property
+    def id(self) -> str:
+        """Stable chunk identifier used as the chunk-log key."""
+        return f"{self.cell}:{self.start}"
+
+
+def chunk_layout(seeds_per_cell: Sequence[int],
+                 chunk_size: int) -> List[StoreChunk]:
+    """Split every cell's seed range into fixed-size store chunks.
+
+    The layout is a pure function of the plan shape and the chunk size, so
+    a resuming process derives exactly the chunk boundaries the store
+    committed — chunks never straddle cells, and within a cell they cover
+    ``[0, chunk_size), [chunk_size, 2*chunk_size), ...`` in seed order.
+    """
+    if chunk_size < 1:
+        raise ConfigurationError("store chunk size must be positive")
+    chunks: List[StoreChunk] = []
+    for cell, num_seeds in enumerate(seeds_per_cell):
+        for start in range(0, num_seeds, chunk_size):
+            chunks.append(StoreChunk(cell=cell, start=start,
+                                     count=min(chunk_size, num_seeds - start)))
+    return chunks
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Snapshot of study progress, delivered after every completed chunk.
+
+    ``done_*`` counts include chunks served from the store at start-up
+    (``resumed_*``), so ``done_chunks == total_chunks`` always means the
+    study is complete regardless of how many invocations it took.
+    """
+
+    done_chunks: int
+    total_chunks: int
+    done_tasks: int
+    total_tasks: int
+    resumed_chunks: int
+    resumed_tasks: int
+    elapsed: float
+
+    @property
+    def executed_tasks(self) -> int:
+        """Runs executed by this invocation (excludes resumed ones)."""
+        return self.done_tasks - self.resumed_tasks
+
+    @property
+    def runs_per_second(self) -> float:
+        """Throughput of this invocation (0.0 before any run completes)."""
+        if self.elapsed <= 0.0 or self.executed_tasks <= 0:
+            return 0.0
+        return self.executed_tasks / self.elapsed
+
+    @property
+    def complete(self) -> bool:
+        """Whether every chunk of the plan is done."""
+        return self.done_chunks >= self.total_chunks
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form (the ``--json-progress`` line format)."""
+        return {
+            "event": "progress",
+            "done_chunks": self.done_chunks,
+            "total_chunks": self.total_chunks,
+            "done_tasks": self.done_tasks,
+            "total_tasks": self.total_tasks,
+            "resumed_chunks": self.resumed_chunks,
+            "resumed_tasks": self.resumed_tasks,
+            "elapsed": round(self.elapsed, 3),
+            "runs_per_second": round(self.runs_per_second, 3),
+            "complete": self.complete,
+        }
+
+
+class RunStore:
+    """Append-only, resumable on-disk store of one study's run records.
+
+    Parameters
+    ----------
+    path:
+        Store directory (created on :meth:`begin` if missing).
+    chunk_size:
+        Seeds per chunk for a *fresh* store.  A store that already holds a
+        manifest keeps its committed layout — chunk boundaries are part of
+        the durable state — and this argument is ignored on resume.
+
+    A store is bound to one plan: :meth:`begin` either initialises the
+    directory with the study's plan fingerprint or verifies that the
+    existing manifest carries the same fingerprint (and discards any
+    partially-appended shard/log tail left by a kill).  Reading back —
+    :meth:`iter_records`, :meth:`load_results`, :meth:`read_chunk` —
+    verifies byte lengths, checksums, and line counts, and raises
+    :class:`~repro.exceptions.StoreError` on any corruption.
+    """
+
+    SCHEMA_VERSION = 1
+
+    def __init__(self, path: Union[str, Path],
+                 chunk_size: Optional[int] = None) -> None:
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError("store chunk size must be positive")
+        self.path = Path(path)
+        self._requested_chunk_size = chunk_size
+        self._manifest: Optional[Dict[str, Any]] = None
+        self._chunks: Optional[Dict[str, Dict[str, Any]]] = None
+        self._lock_handle = None
+
+    # ------------------------------------------------------------------
+    # opening
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        """Location of the (immutable) manifest file."""
+        return self.path / _MANIFEST
+
+    @property
+    def chunk_log_path(self) -> Path:
+        """Location of the append-only chunk-commit log."""
+        return self.path / _CHUNK_LOG
+
+    @property
+    def is_started(self) -> bool:
+        """Whether the directory already holds a committed manifest."""
+        return self.manifest_path.is_file()
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunStore":
+        """Open an existing store for reading (status, reports, analysis)."""
+        store = cls(path)
+        if not store.is_started:
+            raise StoreError(
+                f"{store.path} is not a run store (no {_MANIFEST}); "
+                f"start one with Study.run(store=...) or --store"
+            )
+        store._manifest = store._read_manifest()
+        store._chunks = store._read_chunk_log(repair=False)
+        return store
+
+    def begin(self, fingerprint: str, study: Mapping[str, Any],
+              cells: Sequence[Mapping[str, Any]]) -> None:
+        """Initialise a fresh store or re-open an existing one for writing.
+
+        ``cells`` describes the plan in order — one
+        ``{"benchmark", "design", "num_seeds"}`` mapping per plan cell —
+        and, with ``fingerprint`` and the study description, becomes the
+        durable identity of the store.  Re-opening verifies the
+        fingerprint and discards any uncommitted shard/log tail (the sign
+        of a kill mid-append).  Writing is single-writer: the exclusive
+        store lock is held until :meth:`release`.
+        """
+        if self.is_started:
+            manifest = self._read_manifest()
+            if manifest.get("fingerprint") != fingerprint:
+                raise StoreError(
+                    f"store {self.path} holds a different study "
+                    f"(plan fingerprint {str(manifest.get('fingerprint'))[:12]}… "
+                    f"!= {fingerprint[:12]}…); point --store at a fresh "
+                    f"directory or re-run the original plan"
+                )
+            self._manifest = manifest
+            self._acquire_lock()
+            self._chunks = self._read_chunk_log(repair=True)
+            self._repair_shards()
+            return
+        (self.path / _SHARD_DIR).mkdir(parents=True, exist_ok=True)
+        self._acquire_lock()
+        total_tasks = sum(int(cell["num_seeds"]) for cell in cells)
+        chunk_size = self._requested_chunk_size or DEFAULT_CHUNK_SIZE
+        self._manifest = {
+            "schema": self.SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "chunk_size": chunk_size,
+            "study": dict(study),
+            "cells": [
+                {
+                    "benchmark": str(cell["benchmark"]),
+                    "design": str(cell["design"]),
+                    "num_seeds": int(cell["num_seeds"]),
+                    "shard": f"{_SHARD_DIR}/cell-{index:05d}.jsonl",
+                }
+                for index, cell in enumerate(cells)
+            ],
+            "total_tasks": total_tasks,
+            "total_chunks": len(chunk_layout(
+                [int(cell["num_seeds"]) for cell in cells], chunk_size)),
+            "created": time.time(),
+        }
+        self._chunks = {}
+        self._write_manifest()
+
+    # ------------------------------------------------------------------
+    # locking
+    # ------------------------------------------------------------------
+    def _acquire_lock(self) -> None:
+        """Take the exclusive writer lock, failing fast if another process
+        (or another handle in this one) is mid-study on the same store."""
+        if self._lock_handle is not None:
+            return
+        handle = open(self.path / _LOCK, "a+")
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX platforms
+            self._lock_handle = handle
+            return
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise StoreError(
+                f"store {self.path} is locked by another running study; "
+                f"two concurrent writers would corrupt the store — wait "
+                f"for the other invocation to finish (or kill it) and "
+                f"re-run to resume"
+            ) from None
+        self._lock_handle = handle
+
+    def release(self) -> None:
+        """Release the writer lock (held from :meth:`begin`; reads never
+        lock).  Dropped automatically when the process exits, so a killed
+        study leaves the store immediately resumable."""
+        if self._lock_handle is not None:
+            self._lock_handle.close()
+            self._lock_handle = None
+
+    # ------------------------------------------------------------------
+    # manifest / chunk-log plumbing
+    # ------------------------------------------------------------------
+    def _read_manifest(self) -> Dict[str, Any]:
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise StoreError(
+                f"cannot read store manifest {self.manifest_path}: {error}"
+            ) from None
+        if not isinstance(manifest, dict) or "cells" not in manifest:
+            raise StoreError(
+                f"{self.manifest_path} is not a run-store manifest"
+            )
+        schema = manifest.get("schema")
+        if schema != self.SCHEMA_VERSION:
+            raise StoreError(
+                f"unsupported store schema {schema!r} in {self.manifest_path} "
+                f"(supported: {self.SCHEMA_VERSION})"
+            )
+        return manifest
+
+    def _write_manifest(self) -> None:
+        """Write the immutable store identity, atomically (once, at begin)."""
+        data = json.dumps(self._require_manifest(),
+                          separators=(",", ":")).encode("utf-8")
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.manifest_path)
+        self._sync_directory()
+
+    def _sync_directory(self, directory: Optional[Path] = None) -> None:
+        # Persist renames/creations themselves; best-effort on filesystems
+        # that refuse to fsync a directory handle.
+        try:
+            fd = os.open(directory if directory is not None else self.path,
+                         os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - exotic filesystems
+            pass
+        finally:
+            os.close(fd)
+
+    def _read_chunk_log(self, repair: bool) -> Dict[str, Dict[str, Any]]:
+        """Parse the chunk-commit log, discarding a torn final line.
+
+        A line is committed only once its trailing newline is on disk; a
+        torn tail (kill mid-append) is dropped — and, when ``repair`` is
+        set, truncated away so future appends start on a clean boundary.
+        An unreadable line *before* the tail means committed data was
+        damaged and raises.
+        """
+        entries: Dict[str, Dict[str, Any]] = {}
+        path = self.chunk_log_path
+        if not path.exists():
+            return entries
+        data = path.read_bytes()
+        good = 0
+        for raw in data.splitlines(keepends=True):
+            if not raw.endswith(b"\n"):
+                break  # torn tail: this commit never completed
+            line = raw.strip()
+            if line:
+                try:
+                    entry = json.loads(line.decode("utf-8"))
+                    chunk_id = str(entry["id"])
+                    for key in ("cell", "start", "count", "offset", "length"):
+                        entry[key] = int(entry[key])
+                    str(entry["sha256"])
+                except (ValueError, KeyError) as error:
+                    raise StoreError(
+                        f"store chunk log {path} holds an unreadable "
+                        f"committed entry: {error}; the store is corrupt"
+                    ) from None
+                entries[chunk_id] = entry
+            good += len(raw)
+        if repair and good < len(data):
+            with open(path, "rb+") as handle:
+                handle.truncate(good)
+        return entries
+
+    def _require_manifest(self) -> Dict[str, Any]:
+        if self._manifest is None:
+            if not self.is_started:
+                raise StoreError(
+                    f"{self.path} is not a run store (no {_MANIFEST}); "
+                    f"start one with Study.run(store=...) or --store"
+                )
+            self._manifest = self._read_manifest()
+        return self._manifest
+
+    def _require_chunks(self) -> Dict[str, Dict[str, Any]]:
+        if self._chunks is None:
+            self._require_manifest()
+            self._chunks = self._read_chunk_log(repair=False)
+        return self._chunks
+
+    def _repair_shards(self) -> None:
+        """Truncate uncommitted shard tails; reject shards missing data.
+
+        The append protocol fsyncs shard bytes before the chunk log
+        commits them, so extra bytes past the last committed range are an
+        interrupted append (safe to discard) while *missing* bytes mean
+        committed data itself is gone (unrecoverable corruption).
+        """
+        manifest = self._require_manifest()
+        committed: Dict[int, int] = {}
+        for entry in self._require_chunks().values():
+            end = entry["offset"] + entry["length"]
+            committed[entry["cell"]] = max(committed.get(entry["cell"], 0), end)
+        for cell, end in committed.items():
+            shard = self.path / manifest["cells"][cell]["shard"]
+            try:
+                size = shard.stat().st_size
+            except OSError:
+                raise StoreError(
+                    f"store shard {shard} is missing but the chunk log "
+                    f"commits {end} bytes of it; the store is corrupt"
+                ) from None
+            if size < end:
+                raise StoreError(
+                    f"store shard {shard} holds {size} bytes but the "
+                    f"chunk log commits {end}; the store is corrupt"
+                )
+            if size > end:
+                with open(shard, "rb+") as handle:
+                    handle.truncate(end)
+
+    # ------------------------------------------------------------------
+    # layout / progress
+    # ------------------------------------------------------------------
+    @property
+    def chunk_size(self) -> int:
+        """Seeds per chunk (the committed layout once the store is open)."""
+        if self._manifest is not None:
+            return int(self._manifest["chunk_size"])
+        return self._requested_chunk_size or DEFAULT_CHUNK_SIZE
+
+    @property
+    def fingerprint(self) -> str:
+        """Plan fingerprint the store is bound to."""
+        return str(self._require_manifest()["fingerprint"])
+
+    @property
+    def study(self) -> Dict[str, Any]:
+        """The stored study description (result-set metadata on load)."""
+        return self._require_manifest()["study"]
+
+    def chunks(self) -> List[StoreChunk]:
+        """The full chunk layout of the plan, in plan order."""
+        manifest = self._require_manifest()
+        return chunk_layout(
+            [int(cell["num_seeds"]) for cell in manifest["cells"]],
+            int(manifest["chunk_size"]),
+        )
+
+    def completed_ids(self) -> set:
+        """Identifiers of the chunks the log has committed."""
+        return set(self._require_chunks())
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every chunk of the plan has been committed."""
+        return (len(self._require_chunks())
+                >= int(self._require_manifest()["total_chunks"]))
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat store summary (the ``status`` subcommand's payload)."""
+        manifest = self._require_manifest()
+        chunks = self._require_chunks()
+        done_tasks = sum(entry["count"] for entry in chunks.values())
+        benchmarks = list(dict.fromkeys(
+            cell["benchmark"] for cell in manifest["cells"]))
+        designs = list(dict.fromkeys(
+            cell["design"] for cell in manifest["cells"]))
+        try:
+            updated = self.chunk_log_path.stat().st_mtime
+        except OSError:
+            updated = manifest.get("created")
+        return {
+            "path": str(self.path),
+            "name": manifest["study"].get("name"),
+            "fingerprint": manifest["fingerprint"],
+            "chunk_size": int(manifest["chunk_size"]),
+            "cells": len(manifest["cells"]),
+            "benchmarks": benchmarks,
+            "designs": designs,
+            "done_chunks": len(chunks),
+            "total_chunks": int(manifest["total_chunks"]),
+            "done_tasks": done_tasks,
+            "total_tasks": int(manifest["total_tasks"]),
+            "complete": self.is_complete,
+            "updated": updated,
+        }
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append_chunk(self, chunk: StoreChunk,
+                     records: Sequence[RunRecord]) -> None:
+        """Durably commit one completed chunk (shard append, then log line).
+
+        The records must be the chunk's runs in seed order.  Once this
+        method returns, the chunk survives a kill: its bytes are fsynced
+        in the shard and the fsynced chunk-log line names them.  Both
+        writes are O(chunk), never O(store).
+        """
+        manifest = self._require_manifest()
+        chunks = self._require_chunks()
+        if len(records) != chunk.count:
+            raise StoreError(
+                f"chunk {chunk.id} expects {chunk.count} records, "
+                f"got {len(records)}"
+            )
+        if chunk.id in chunks:
+            return  # already durable; re-commits are harmless no-ops
+        lines = [json.dumps(record.to_dict(), separators=(",", ":"))
+                 for record in records]
+        data = ("\n".join(lines) + "\n").encode("utf-8")
+        shard = self.path / manifest["cells"][chunk.cell]["shard"]
+        shard_is_new = not shard.exists()
+        with open(shard, "ab") as handle:
+            offset = handle.tell()
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if shard_is_new:
+            # A fsynced file whose directory entry is lost to a power cut
+            # would make the committed chunk unreadable; pin the creation
+            # before the log line commits it.
+            self._sync_directory(shard.parent)
+        entry = {
+            "id": chunk.id,
+            "cell": chunk.cell,
+            "start": chunk.start,
+            "count": chunk.count,
+            "offset": offset,
+            "length": len(data),
+            "sha256": hashlib.sha256(data).hexdigest(),
+        }
+        line = (json.dumps(entry, separators=(",", ":")) + "\n").encode("utf-8")
+        log_is_new = not self.chunk_log_path.exists()
+        with open(self.chunk_log_path, "ab") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if log_is_new:
+            self._sync_directory()
+        chunks[chunk.id] = entry
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def read_chunk(self, chunk: StoreChunk) -> List[RunRecord]:
+        """Read back one committed chunk, verifying its integrity."""
+        manifest = self._require_manifest()
+        entry = self._require_chunks().get(chunk.id)
+        if entry is None:
+            raise StoreError(
+                f"chunk {chunk.id} is not committed in store {self.path}"
+            )
+        shard = self.path / manifest["cells"][chunk.cell]["shard"]
+        try:
+            with open(shard, "rb") as handle:
+                handle.seek(entry["offset"])
+                data = handle.read(entry["length"])
+        except OSError as error:
+            raise StoreError(
+                f"cannot read store shard {shard}: {error}"
+            ) from None
+        if len(data) != entry["length"]:
+            raise StoreError(
+                f"store shard {shard} is truncated: chunk {chunk.id} "
+                f"expects {entry['length']} bytes at offset "
+                f"{entry['offset']}, got {len(data)}; the store is corrupt"
+            )
+        if hashlib.sha256(data).hexdigest() != entry["sha256"]:
+            raise StoreError(
+                f"store shard {shard} fails its checksum for chunk "
+                f"{chunk.id}; the store is corrupt — delete the store "
+                f"directory and re-run to recompute"
+            )
+        lines = data.decode("utf-8").splitlines()
+        if len(lines) != entry["count"]:
+            raise StoreError(
+                f"store shard {shard} holds {len(lines)} records for chunk "
+                f"{chunk.id}, expected {entry['count']}; the store is corrupt"
+            )
+        try:
+            return [RunRecord.from_dict(json.loads(line)) for line in lines]
+        except (json.JSONDecodeError, ConfigurationError) as error:
+            raise StoreError(
+                f"store shard {shard} holds an unreadable record in chunk "
+                f"{chunk.id}: {error}; the store is corrupt"
+            ) from None
+
+    def iter_records(self) -> Iterator[RunRecord]:
+        """Stream every committed record in plan order, chunk by chunk.
+
+        Only one chunk is materialised at a time, so incremental consumers
+        (:func:`~repro.study.results.aggregate_stream`) aggregate
+        million-run stores without holding every record in memory.
+        Uncommitted chunks are skipped; use :meth:`load_results` (or check
+        :attr:`is_complete`) when completeness matters.
+        """
+        completed = self.completed_ids()
+        for chunk in self.chunks():
+            if chunk.id in completed:
+                yield from self.read_chunk(chunk)
+
+    def load_results(self, allow_partial: bool = False) -> ResultSet:
+        """Materialise the stored records as a :class:`ResultSet`.
+
+        The result is byte-identical (``to_json``) to what
+        :meth:`Study.run` returned for the same plan — records in plan
+        order, metadata from the stored study description.  An incomplete
+        store raises unless ``allow_partial`` is set.
+        """
+        if not allow_partial and not self.is_complete:
+            raise StoreError(
+                f"store {self.path} is incomplete "
+                f"({len(self._require_chunks())}"
+                f"/{self._require_manifest()['total_chunks']} chunks); "
+                f"resume the study to finish it, or pass allow_partial=True "
+                f"to load what exists"
+            )
+        return ResultSet(list(self.iter_records()), metadata=self.study)
+
+    def __repr__(self) -> str:
+        state = "unopened"
+        if self._manifest is not None and self._chunks is not None:
+            state = (f"{len(self._chunks)}"
+                     f"/{self._manifest['total_chunks']} chunks")
+        return f"RunStore({str(self.path)!r}, {state})"

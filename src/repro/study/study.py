@@ -27,8 +27,13 @@ The paper's figures are each one study::
 
 from __future__ import annotations
 
+import inspect
+import time
 from dataclasses import fields as dataclass_fields, replace
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import (
+    Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union,
+)
 
 from repro.core.config import SystemConfig
 from repro.engine.backends import BackendLike, ExecutionBackend, ExecutionTask, get_backend
@@ -39,12 +44,23 @@ from repro.hardware.parameters import GateFidelities, GateTimes
 from repro.hardware.topology import get_topology
 from repro.partitioning.registry import get_partitioner
 from repro.runtime.designs import DesignSpec, list_designs
+from repro.runtime.metrics import ExecutionResult
 from repro.scheduling.policies import AdaptivePolicy
 from repro.study.grid import Axis, GridSpec
 from repro.study.plan import ExecutionPlan, PlanCell, jsonify, param_token
 from repro.study.results import ResultSet, RunRecord
+from repro.study.store import (
+    DEFAULT_CHUNK_SIZE,
+    ProgressEvent,
+    RunStore,
+    StoreChunk,
+    chunk_layout,
+)
 
 __all__ = ["Study", "EXECUTOR_AXES", "RESERVED_AXES"]
+
+#: Callback type for :meth:`Study.run` progress reporting.
+ProgressCallback = Callable[[ProgressEvent], None]
 
 #: Axis names that address the execution pipeline rather than the system.
 EXECUTOR_AXES = ("segment_length", "adaptive_policy")
@@ -453,15 +469,64 @@ class Study:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, plan: Optional[ExecutionPlan] = None) -> ResultSet:
+    def plan_fingerprint(self, plan: Optional[ExecutionPlan] = None) -> str:
+        """Stable identity of the executable plan (the run-store key).
+
+        Covers every cell's configuration fingerprint — benchmark, design,
+        the full :class:`SystemConfig`, scheduling knobs, and the seed
+        list — plus the shared partitioner seed, so two studies share a
+        store if and only if they would execute the identical grid.
+        """
+        plan = plan if plan is not None else self.plan()
+        return fingerprint("study-plan", self.partition_seed,
+                           tuple(cell.key for cell in plan))
+
+    def run(self, plan: Optional[ExecutionPlan] = None, *,
+            store: Union[None, str, Path, RunStore] = None,
+            progress: Optional[ProgressCallback] = None,
+            max_chunks: Optional[int] = None,
+            store_chunk_size: Optional[int] = None) -> ResultSet:
         """Execute the study and return its flat result set.
 
         The whole seed × cell grid is submitted to the backend as one flat
         batch, so a parallel backend balances across every cell of every
         system variant at once (the legacy sweep ran one system at a time).
         Pass a pre-expanded ``plan`` to avoid expanding the grid twice.
+
+        Parameters
+        ----------
+        store:
+            Optional durable :class:`~repro.study.store.RunStore` (or its
+            directory path): results stream to append-only shards as
+            chunks complete, and chunks the store has already committed
+            are *skipped* — re-running the same study against the same
+            store resumes where a previous (possibly killed) invocation
+            stopped, with a final result byte-identical to an
+            uninterrupted run.
+        progress:
+            Optional callback receiving a
+            :class:`~repro.study.store.ProgressEvent` once at start and
+            after every completed chunk.
+        max_chunks:
+            Execute at most this many *new* chunks, then return what is
+            complete so far (the store keeps the progress).  ``0`` loads a
+            store's existing records without executing anything.
+        store_chunk_size:
+            Seeds per chunk for a fresh store (default
+            :data:`~repro.study.store.DEFAULT_CHUNK_SIZE`); an existing
+            store keeps its committed layout.
         """
         plan = plan if plan is not None else self.plan()
+        if store_chunk_size is not None and store_chunk_size < 1:
+            raise ConfigurationError("store chunk size must be positive")
+        if store is None and progress is None and max_chunks is None:
+            return self._run_direct(plan)
+        return self._run_streamed(plan, store=store, progress=progress,
+                                  max_chunks=max_chunks,
+                                  store_chunk_size=store_chunk_size)
+
+    def _run_direct(self, plan: ExecutionPlan) -> ResultSet:
+        """The all-in-memory path: one flat batch, records on return."""
         compiled = self.compile_plan(plan)
         tasks = [
             ExecutionTask(compiled_cell, seed)
@@ -479,6 +544,83 @@ class Study:
                     RunRecord.from_execution_result(results[index], params)
                 )
                 index += 1
+        return ResultSet(records, metadata=self.describe())
+
+    def _run_streamed(self, plan: ExecutionPlan, *,
+                      store: Union[None, str, Path, RunStore],
+                      progress: Optional[ProgressCallback],
+                      max_chunks: Optional[int],
+                      store_chunk_size: Optional[int]) -> ResultSet:
+        """The chunked path: durable store and/or progress observation.
+
+        The plan is split into deterministic store chunks (cells in plan
+        order, seed ranges within each cell); chunks the store has already
+        committed are filtered out, the rest run as one flat backend batch
+        whose streamed results are persisted chunk by chunk, and the final
+        records are assembled in plan order from both sources — which is
+        what makes a resumed study byte-identical to an uninterrupted one.
+        """
+        if max_chunks is not None and max_chunks < 0:
+            raise ConfigurationError("max_chunks cannot be negative")
+        if store is not None and not isinstance(store, RunStore):
+            store = RunStore(store, chunk_size=store_chunk_size)
+        compiled = self.compile_plan(plan)
+        cells = plan.cells
+        if store is not None:
+            store.begin(
+                self.plan_fingerprint(plan), self.describe(),
+                [{"benchmark": cell.benchmark, "design": cell.design_name,
+                  "num_seeds": len(cell.seeds)} for cell in cells],
+            )
+            chunk_size = store.chunk_size
+        else:
+            chunk_size = store_chunk_size or DEFAULT_CHUNK_SIZE
+        layout = chunk_layout([len(cell.seeds) for cell in cells], chunk_size)
+        completed = store.completed_ids() if store is not None else set()
+        pending = [chunk for chunk in layout if chunk.id not in completed]
+        resumed_chunks = len(layout) - len(pending)
+        resumed_tasks = sum(chunk.count for chunk in layout
+                            if chunk.id in completed)
+        if max_chunks is not None:
+            pending = pending[:max_chunks]
+        params = [{key: param_token(value)
+                   for key, value in cell.params.items()} for cell in cells]
+        sink = _ChunkSink(
+            pending, cells=cells, params=params, store=store,
+            progress=progress, chunk_size=chunk_size,
+            total_chunks=len(layout),
+            total_tasks=sum(chunk.count for chunk in layout),
+            resumed_chunks=resumed_chunks, resumed_tasks=resumed_tasks,
+        )
+        tasks = [
+            ExecutionTask(compiled[chunk.cell], seed)
+            for chunk in pending
+            for seed in cells[chunk.cell].seeds[chunk.start:chunk.start
+                                                + chunk.count]
+        ]
+        sink.start()
+        try:
+            if tasks:
+                if _backend_supports_sink(self.backend):
+                    self.backend.execute(tasks, sink=sink)
+                else:
+                    # Custom backends predating streaming: run the whole
+                    # batch, then route it through the sink in one pass
+                    # (results are durable only once the batch finishes).
+                    sink(0, self.backend.execute(tasks))
+        finally:
+            if store is not None:
+                # The writer lock is held from begin(); reads below (and
+                # other processes) need the store, not the lock.
+                store.release()
+        records: List[RunRecord] = []
+        for chunk in layout:
+            chunk_records = sink.records.get(chunk.id)
+            if (chunk_records is None and store is not None
+                    and chunk.id in completed):
+                chunk_records = store.read_chunk(chunk)
+            if chunk_records is not None:
+                records.extend(chunk_records)
         return ResultSet(records, metadata=self.describe())
 
     def run_cell(self, benchmark: str, design: Union[str, DesignSpec],
@@ -671,3 +813,117 @@ class Study:
         return (f"Study(benchmarks={self._benchmarks}, "
                 f"axes={[tuple(a.fields) for a in self._custom_axes]}, "
                 f"num_runs={self.num_runs})")
+
+
+def _backend_supports_sink(backend: ExecutionBackend) -> bool:
+    """Whether the backend's ``execute`` accepts the streaming ``sink``."""
+    try:
+        return "sink" in inspect.signature(backend.execute).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+
+
+class _ChunkSink:
+    """Routes streamed backend results into durable store chunks.
+
+    The backend delivers ``(start, batch)`` pieces in completion order and
+    at *its* granularity; this sink reassembles them against the pending
+    store chunks (whose tasks were submitted consecutively), and the moment
+    every result of a chunk has arrived it builds the chunk's records,
+    commits them to the store, and fires a progress event.  The sink's
+    ``chunk_size`` attribute doubles as the granularity hint backends use
+    to align their internal chunking with the durable boundaries.
+    """
+
+    def __init__(self, pending: Sequence[StoreChunk], *,
+                 cells: Sequence[PlanCell],
+                 params: Sequence[Dict[str, Any]],
+                 store: Optional[RunStore],
+                 progress: Optional[ProgressCallback],
+                 chunk_size: int, total_chunks: int, total_tasks: int,
+                 resumed_chunks: int, resumed_tasks: int) -> None:
+        self.chunk_size = chunk_size
+        self.records: Dict[str, List[RunRecord]] = {}
+        self._pending = list(pending)
+        self._cells = cells
+        self._params = params
+        self._store = store
+        self._progress = progress
+        self._total_chunks = total_chunks
+        self._total_tasks = total_tasks
+        self._resumed_chunks = resumed_chunks
+        self._resumed_tasks = resumed_tasks
+        self._offsets: List[int] = []
+        offset = 0
+        for chunk in self._pending:
+            self._offsets.append(offset)
+            offset += chunk.count
+        self._results: List[Optional[ExecutionResult]] = [None] * offset
+        self._remaining = [chunk.count for chunk in self._pending]
+        self._flushed_chunks = 0
+        self._flushed_tasks = 0
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Reset the clock and report the resume point before execution."""
+        self._started = time.monotonic()
+        self._emit()
+
+    def __call__(self, start: int, batch: Sequence[ExecutionResult]) -> None:
+        end = start + len(batch)
+        self._results[start:end] = batch
+        index = self._chunk_at(start)
+        while (index < len(self._pending)
+               and self._offsets[index] < end):
+            chunk_start = self._offsets[index]
+            chunk_end = chunk_start + self._pending[index].count
+            overlap = min(end, chunk_end) - max(start, chunk_start)
+            if overlap > 0:
+                self._remaining[index] -= overlap
+                if self._remaining[index] == 0:
+                    self._flush(index)
+            index += 1
+
+    # ------------------------------------------------------------------
+    def _chunk_at(self, position: int) -> int:
+        """Index of the pending chunk covering task ``position``."""
+        low, high = 0, len(self._offsets) - 1
+        while low < high:
+            mid = (low + high + 1) // 2
+            if self._offsets[mid] <= position:
+                low = mid
+            else:
+                high = mid - 1
+        return low
+
+    def _flush(self, index: int) -> None:
+        chunk = self._pending[index]
+        start = self._offsets[index]
+        results = self._results[start:start + chunk.count]
+        records = [
+            RunRecord.from_execution_result(result, self._params[chunk.cell])
+            for result in results
+        ]
+        # The raw results are never read again once flattened to records;
+        # dropping them halves the sink's peak memory on long sweeps.
+        self._results[start:start + chunk.count] = [None] * chunk.count
+        if self._store is not None:
+            self._store.append_chunk(chunk, records)
+        self.records[chunk.id] = records
+        self._flushed_chunks += 1
+        self._flushed_tasks += chunk.count
+        self._emit()
+
+    def _emit(self) -> None:
+        if self._progress is None:
+            return
+        self._progress(ProgressEvent(
+            done_chunks=self._resumed_chunks + self._flushed_chunks,
+            total_chunks=self._total_chunks,
+            done_tasks=self._resumed_tasks + self._flushed_tasks,
+            total_tasks=self._total_tasks,
+            resumed_chunks=self._resumed_chunks,
+            resumed_tasks=self._resumed_tasks,
+            elapsed=time.monotonic() - self._started,
+        ))

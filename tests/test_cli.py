@@ -183,6 +183,61 @@ class TestSweepCommand:
         assert "unknown study spec keys" in capsys.readouterr().err
 
 
+class TestStoreAndStatus:
+    SWEEP = ["sweep", "--benchmark", "TLIM-32", "--design", "ideal",
+             "--design", "original", "--runs", "4", *SMALL_SYSTEM_FLAGS]
+
+    def test_interrupt_resume_status_roundtrip(self, tmp_path, capsys):
+        store = str(tmp_path / "st")
+        baseline = tmp_path / "base.json"
+        resumed = tmp_path / "resumed.json"
+        assert main([*self.SWEEP, "--quiet", "--out", str(baseline)]) == 0
+        # Interrupted invocation: two chunks, then stop (exit 0, store kept).
+        assert main([*self.SWEEP, "--store", store, "--store-chunk-size", "2",
+                     "--max-chunks", "2", "--quiet"]) == 0
+        assert "re-run the same command to resume" in capsys.readouterr().err
+        assert main(["status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "in progress" in out and "2/4" in out
+        # Resume completes and matches the uninterrupted baseline exactly.
+        assert main([*self.SWEEP, "--store", store, "--quiet",
+                     "--out", str(resumed)]) == 0
+        assert resumed.read_bytes() == baseline.read_bytes()
+        assert main(["status", "--store", store, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["complete"] is True
+        assert summary["done_chunks"] == summary["total_chunks"] == 4
+
+    def test_json_progress_lines(self, tmp_path, capsys):
+        store = str(tmp_path / "st")
+        assert main([*self.SWEEP, "--store", store, "--store-chunk-size", "2",
+                     "--json-progress"]) == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines() if line]
+        assert all(line["event"] == "progress" for line in lines)
+        assert lines[-1]["complete"] is True
+        assert lines[-1]["done_tasks"] == 8
+
+    def test_resume_requires_existing_store(self, tmp_path, capsys):
+        assert main([*self.SWEEP, "--store", str(tmp_path / "missing"),
+                     "--resume", "--quiet"]) == 2
+        assert "holds no started study" in capsys.readouterr().err
+        assert main([*self.SWEEP, "--resume", "--quiet"]) == 2
+        assert "--resume needs --store" in capsys.readouterr().err
+
+    def test_status_on_missing_store_fails(self, tmp_path, capsys):
+        assert main(["status", "--store", str(tmp_path / "nope")]) == 2
+        assert "not a run store" in capsys.readouterr().err
+
+    def test_mismatched_store_reported(self, tmp_path, capsys):
+        store = str(tmp_path / "st")
+        assert main([*self.SWEEP, "--store", store, "--quiet"]) == 0
+        assert main(["run", "--benchmark", "QFT-32", "--design", "ideal",
+                     "--runs", "1", *SMALL_SYSTEM_FLAGS,
+                     "--store", store, "--quiet"]) == 2
+        assert "different study" in capsys.readouterr().err
+
+
 class TestListCommands:
     def test_list_benchmarks(self, capsys):
         assert main(["list-benchmarks"]) == 0

@@ -209,3 +209,46 @@ class TestAnalysis:
         assert comparison.designs == ["async_buf"]
         with pytest.raises(ValueError):
             DesignSummary.from_results([])
+
+
+class TestApiRegistration:
+    """The api facade's benchmark / design registration entry points."""
+
+    def test_register_benchmark_round_trip(self):
+        from repro import api
+        from repro.benchmarks.registry import BENCHMARKS
+
+        spec = api.BenchmarkSpec(
+            name="GHZ-TEST-12", num_qubits=12,
+            builder=lambda: tlim_circuit(12, num_steps=1),
+            description="registration test benchmark")
+        try:
+            assert api.register_benchmark(spec) is spec
+            assert api.get_benchmark("ghz-test-12") is spec
+            assert "GHZ-TEST-12" in api.list_benchmarks()
+            with pytest.raises(Exception, match="already registered"):
+                api.register_benchmark(spec)
+            replacement = api.BenchmarkSpec(
+                name="GHZ-TEST-12", num_qubits=12,
+                builder=lambda: tlim_circuit(12, num_steps=2))
+            assert api.register_benchmark(replacement, overwrite=True) \
+                is replacement
+        finally:
+            BENCHMARKS.pop("GHZ-TEST-12", None)
+
+    def test_register_design_round_trip(self):
+        from repro import api
+        from repro.runtime.designs import DESIGNS, DESIGN_ORDER
+
+        spec = api.get_design("adapt_buf").with_overrides(
+            name="adapt_test_cutoff", buffer_cutoff=40.0)
+        try:
+            assert api.register_design(spec) is spec
+            assert api.get_design("adapt_test_cutoff") is spec
+            assert api.list_designs()[-1] == "adapt_test_cutoff"
+            with pytest.raises(ConfigurationError, match="already registered"):
+                api.register_design(spec)
+        finally:
+            DESIGNS.pop("adapt_test_cutoff", None)
+            if "adapt_test_cutoff" in DESIGN_ORDER:
+                DESIGN_ORDER.remove("adapt_test_cutoff")

@@ -1,0 +1,362 @@
+"""Tests for the durable run store and resumable studies.
+
+The contract under test is the tentpole guarantee: a study executed
+against a store — including one interrupted and resumed across several
+invocations — produces a ``ResultSet`` whose ``to_json`` text is byte
+identical to the same study run uninterrupted in memory, and any
+corruption of the durable state is detected loudly rather than silently
+altering results.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import Study, SystemConfig
+from repro.analysis.report import load_results, store_status_report, summary_report
+from repro.engine.backends import ExecutionBackend
+from repro.exceptions import ConfigurationError, StoreError
+from repro.study import ResultSet, RunStore, aggregate_stream
+from repro.study.store import DEFAULT_CHUNK_SIZE, StoreChunk, chunk_layout
+
+SMALL = SystemConfig(data_qubits_per_node=16, comm_qubits_per_node=4,
+                     buffer_qubits_per_node=4)
+
+
+def small_study(**overrides):
+    kwargs = dict(benchmarks=["TLIM-32"], designs=["ideal", "original"],
+                  num_runs=4, system=SMALL)
+    kwargs.update(overrides)
+    return Study(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def baseline_json():
+    """The uninterrupted in-memory run every store variant must match."""
+    with small_study() as study:
+        return study.run().to_json()
+
+
+def first_shard(store_dir: Path) -> Path:
+    return sorted((store_dir / "shards").glob("*.jsonl"))[0]
+
+
+# ----------------------------------------------------------------------
+class TestChunkLayout:
+    def test_chunks_cover_cells_in_order(self):
+        layout = chunk_layout([5, 2], chunk_size=2)
+        assert [(c.cell, c.start, c.count) for c in layout] == [
+            (0, 0, 2), (0, 2, 2), (0, 4, 1), (1, 0, 2)]
+
+    def test_chunk_ids_are_stable(self):
+        assert StoreChunk(cell=3, start=64, count=32).id == "3:64"
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chunk_layout([4], chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            RunStore("anywhere", chunk_size=0)
+
+
+class TestStoreLifecycle:
+    def test_fresh_store_writes_manifest_and_chunk_log(self, tmp_path):
+        store = tmp_path / "st"
+        with small_study() as study:
+            study.run(store=store, store_chunk_size=2)
+        manifest = json.loads((store / "manifest.json").read_text())
+        assert manifest["schema"] == RunStore.SCHEMA_VERSION
+        assert manifest["chunk_size"] == 2
+        assert manifest["total_tasks"] == 8
+        assert manifest["total_chunks"] == 4
+        # Chunk commits live in the O(1) append-only log, not the manifest.
+        log_lines = (store / "chunks.log").read_text().splitlines()
+        assert len(log_lines) == 4
+        assert all("sha256" in json.loads(line) for line in log_lines)
+
+    def test_load_rejects_non_store_directory(self, tmp_path):
+        with pytest.raises(StoreError, match="not a run store"):
+            RunStore.load(tmp_path)
+
+    def test_existing_store_keeps_committed_chunk_size(self, tmp_path):
+        store = tmp_path / "st"
+        with small_study() as study:
+            study.run(store=store, max_chunks=1, store_chunk_size=2)
+        # A different requested size on resume must not shift the layout.
+        with small_study() as study:
+            study.run(store=store, store_chunk_size=3)
+        assert RunStore.load(store).chunk_size == 2
+
+    def test_mismatched_plan_rejected(self, tmp_path):
+        store = tmp_path / "st"
+        with small_study() as study:
+            study.run(store=store, max_chunks=1, store_chunk_size=2)
+        with small_study(num_runs=5) as other:
+            with pytest.raises(StoreError, match="different study"):
+                other.run(store=store)
+
+    def test_default_chunk_size(self, tmp_path):
+        store = tmp_path / "st"
+        with small_study() as study:
+            study.run(store=store)
+        assert RunStore.load(store).chunk_size == DEFAULT_CHUNK_SIZE
+
+    def test_negative_max_chunks_rejected(self):
+        with small_study() as study:
+            with pytest.raises(ConfigurationError):
+                study.run(max_chunks=-1)
+
+    def test_concurrent_writer_rejected(self, tmp_path):
+        store = tmp_path / "st"
+        hijack_errors = []
+
+        def hijack(event):
+            # While the first study holds the writer lock, a second
+            # invocation against the same store must fail fast instead of
+            # interleaving appends.
+            if event.done_chunks == 1 and not hijack_errors:
+                with small_study() as other:
+                    with pytest.raises(StoreError, match="locked"):
+                        other.run(store=store)
+                hijack_errors.append("raised")
+
+        with small_study() as study:
+            study.run(store=store, store_chunk_size=2, progress=hijack)
+        assert hijack_errors == ["raised"]
+        # The lock is released after the run: resuming works normally.
+        with small_study() as study:
+            study.run(store=store)
+
+
+# ----------------------------------------------------------------------
+class TestResumeBitIdentity:
+    def test_store_run_matches_in_memory(self, tmp_path, baseline_json):
+        with small_study() as study:
+            results = study.run(store=tmp_path / "st", store_chunk_size=2)
+        assert results.to_json() == baseline_json
+
+    def test_interrupt_and_resume_matches_uninterrupted(
+            self, tmp_path, baseline_json):
+        store = tmp_path / "st"
+        # Fresh Study objects per invocation, as separate processes would be.
+        with small_study() as study:
+            partial = study.run(store=store, max_chunks=1, store_chunk_size=2)
+        assert len(partial) == 2  # only the first chunk is complete
+        with small_study() as study:
+            resumed = study.run(store=store)
+        assert resumed.to_json() == baseline_json
+        assert ResultSet.from_store(store).to_json() == baseline_json
+
+    def test_crash_mid_chunk_leaves_resumable_store(
+            self, tmp_path, baseline_json):
+        store = tmp_path / "st"
+
+        class Interrupted(RuntimeError):
+            pass
+
+        def bomb(event):
+            # Let the initial event and two chunk commits through, then die
+            # the way a kill signal would — after durable commits, before
+            # the study finishes.
+            if event.done_chunks >= 2:
+                raise Interrupted()
+
+        with small_study() as study:
+            with pytest.raises(Interrupted):
+                study.run(store=store, store_chunk_size=2, progress=bomb)
+        assert len(RunStore.load(store).completed_ids()) >= 2
+        with small_study() as study:
+            resumed = study.run(store=store)
+        assert resumed.to_json() == baseline_json
+
+    def test_orphaned_shard_tail_is_discarded(self, tmp_path, baseline_json):
+        store = tmp_path / "st"
+        with small_study() as study:
+            study.run(store=store, max_chunks=2, store_chunk_size=2)
+        # A kill between the shard append and the manifest commit leaves a
+        # partial line past the committed range; resume must discard it.
+        with open(first_shard(store), "ab") as handle:
+            handle.write(b'{"benchmark": "TLIM-32", "trunca')
+        with small_study() as study:
+            resumed = study.run(store=store)
+        assert resumed.to_json() == baseline_json
+
+    def test_completed_store_resume_executes_nothing(self, tmp_path):
+        store = tmp_path / "st"
+        with small_study() as study:
+            study.run(store=store, store_chunk_size=2)
+        events = []
+        with small_study() as study:
+            study.run(store=store, progress=events.append)
+        assert all(e.resumed_chunks == e.total_chunks for e in events)
+        assert all(e.executed_tasks == 0 for e in events)
+
+    def test_max_chunks_zero_loads_without_executing(self, tmp_path):
+        store = tmp_path / "st"
+        with small_study() as study:
+            study.run(store=store, max_chunks=1, store_chunk_size=2)
+        with small_study() as study:
+            loaded = study.run(store=store, max_chunks=0)
+        assert len(loaded) == 2
+
+    def test_swept_params_round_trip(self, tmp_path):
+        def sweep():
+            return small_study(
+                designs=["ideal"],
+                axes={"epr_success_probability": [0.2, 0.8]})
+
+        with sweep() as study:
+            expected = study.run().to_json()
+        store = tmp_path / "st"
+        with sweep() as study:
+            study.run(store=store, max_chunks=1, store_chunk_size=2)
+        with sweep() as study:
+            assert study.run(store=store).to_json() == expected
+        reloaded = ResultSet.from_store(store)
+        assert reloaded.values("epr_success_probability") == [
+            0.2, 0.2, 0.2, 0.2, 0.8, 0.8, 0.8, 0.8]
+
+
+# ----------------------------------------------------------------------
+class TestCorruptionDetection:
+    def _complete_store(self, tmp_path):
+        store = tmp_path / "st"
+        with small_study() as study:
+            study.run(store=store, store_chunk_size=2)
+        return store
+
+    def test_flipped_byte_fails_checksum(self, tmp_path):
+        store = self._complete_store(tmp_path)
+        shard = first_shard(store)
+        data = bytearray(shard.read_bytes())
+        data[10] ^= 0xFF
+        shard.write_bytes(bytes(data))
+        with pytest.raises(StoreError, match="checksum"):
+            ResultSet.from_store(store)
+
+    def test_truncated_shard_rejected_on_resume(self, tmp_path):
+        store = self._complete_store(tmp_path)
+        shard = first_shard(store)
+        shard.write_bytes(shard.read_bytes()[:5])
+        with small_study() as study:
+            with pytest.raises(StoreError, match="corrupt"):
+                study.run(store=store)
+
+    def test_missing_shard_rejected(self, tmp_path):
+        store = self._complete_store(tmp_path)
+        first_shard(store).unlink()
+        with small_study() as study:
+            with pytest.raises(StoreError, match="corrupt|missing"):
+                study.run(store=store)
+
+    def test_partial_store_load_refused_by_default(self, tmp_path):
+        store = tmp_path / "st"
+        with small_study() as study:
+            study.run(store=store, max_chunks=1, store_chunk_size=2)
+        with pytest.raises(StoreError, match="incomplete"):
+            ResultSet.from_store(store)
+        assert len(ResultSet.from_store(store, allow_partial=True)) == 2
+
+    def test_garbage_manifest_rejected(self, tmp_path):
+        store = tmp_path / "st"
+        store.mkdir()
+        (store / "manifest.json").write_text("{not json")
+        with pytest.raises(StoreError, match="cannot read store manifest"):
+            RunStore.load(store)
+
+
+# ----------------------------------------------------------------------
+class TestStreamingAggregation:
+    def test_matches_in_memory_aggregate(self, tmp_path):
+        store = tmp_path / "st"
+        with small_study() as study:
+            results = study.run(store=store, store_chunk_size=2)
+        loaded = RunStore.load(store)
+        for by in ("design", ["benchmark", "design"], ()):
+            assert (aggregate_stream(loaded.iter_records(), "depth", by=by)
+                    == results.aggregate("depth", by=by))
+        assert (aggregate_stream(loaded.iter_records(), "fidelity",
+                                 by="design")
+                == results.aggregate("fidelity", by="design"))
+
+    def test_empty_stream_raises_like_aggregate(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_stream(iter(()), "depth")
+
+
+# ----------------------------------------------------------------------
+class TestProgressEvents:
+    def test_events_are_monotonic_and_complete(self, tmp_path):
+        events = []
+        with small_study() as study:
+            study.run(store=tmp_path / "st", store_chunk_size=2,
+                      progress=events.append)
+        assert events[0].done_chunks == 0  # the initial resume-point event
+        done = [e.done_chunks for e in events]
+        assert done == sorted(done)
+        assert events[-1].complete
+        assert events[-1].done_tasks == events[-1].total_tasks == 8
+        payload = events[-1].to_dict()
+        assert payload["event"] == "progress"
+        assert payload["complete"] is True
+
+    def test_progress_without_store(self):
+        events = []
+        with small_study() as study:
+            results = study.run(progress=events.append, store_chunk_size=2)
+        assert len(results) == 8
+        assert events[-1].complete
+
+
+# ----------------------------------------------------------------------
+class _LegacySignatureBackend(ExecutionBackend):
+    """A pre-streaming backend: ``execute`` does not accept a sink."""
+
+    name = "legacy-signature"
+
+    def execute(self, tasks):  # noqa: D102 - intentionally sink-less
+        results = []
+        for task in tasks:
+            results.append(task.run())
+        return results
+
+
+class TestSinklessBackendFallback:
+    def test_store_still_completes(self, tmp_path, baseline_json):
+        store = tmp_path / "st"
+        with small_study(backend=_LegacySignatureBackend()) as study:
+            results = study.run(store=store, store_chunk_size=2)
+        assert results.to_json() == baseline_json
+        assert RunStore.load(store).is_complete
+
+
+# ----------------------------------------------------------------------
+class TestReportsAcceptStores:
+    def test_load_results_from_store_dir_and_json(self, tmp_path):
+        store = tmp_path / "st"
+        with small_study() as study:
+            results = study.run(store=store, store_chunk_size=2)
+        out = tmp_path / "rs.json"
+        results.to_json(out)
+        assert load_results(store) == results
+        assert load_results(out) == results
+        assert load_results(results) is results
+
+    def test_summary_report_from_store(self, tmp_path):
+        store = tmp_path / "st"
+        with small_study() as study:
+            results = study.run(store=store, store_chunk_size=2)
+        assert summary_report(store) == summary_report(results)
+        assert "mean depth" in summary_report(store)
+
+    def test_store_status_report(self, tmp_path):
+        store = tmp_path / "st"
+        with small_study() as study:
+            study.run(store=store, max_chunks=1, store_chunk_size=2)
+        text = store_status_report(store)
+        assert "in progress" in text
+        assert "1/4" in text  # chunks
+        assert "TLIM-32" in text
+        with small_study() as study:
+            study.run(store=store)
+        assert "complete" in store_status_report(store)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Execute every fenced ``bash`` block in ``docs/*.md`` as a smoke test.
+
+Documentation that is not executed rots; this runner keeps every shell
+example in the docs tree honest by actually running it:
+
+* blocks fenced as ```` ```bash ```` are executed with
+  ``bash -euo pipefail`` — any failing command fails the run;
+* all blocks of one page share a scratch working directory (so a page can
+  build on files created by its earlier blocks) and pages are isolated
+  from each other and from the repository checkout;
+* ``PYTHONPATH`` points at the checkout's ``src`` and the repetition knobs
+  (``RUNS``, ``REPRO_RUNS``) default to 1 so paper-scale commands written
+  as ``--runs "${RUNS:-50}"`` complete in seconds;
+* a block whose first line is ``# docs-smoke: skip`` is reported but not
+  run (escape hatch for genuinely non-executable snippets — currently
+  none).
+
+Usage::
+
+    python tools/docs_smoke.py            # run everything
+    python tools/docs_smoke.py docs/cli.md  # one page
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SKIP_MARKER = "# docs-smoke: skip"
+
+_FENCE = re.compile(r"^```bash\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def extract_blocks(page: Path) -> List[str]:
+    """The page's ``bash`` fenced blocks, in document order."""
+    return [match.group(1).strip()
+            for match in _FENCE.finditer(page.read_text())]
+
+
+def run_page(page: Path) -> Tuple[int, int]:
+    """Run one page's blocks in a shared scratch dir; (ran, skipped)."""
+    blocks = extract_blocks(page)
+    if not blocks:
+        print(f"{page}: no bash blocks")
+        return 0, 0
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    env.setdefault("RUNS", "1")
+    env.setdefault("REPRO_RUNS", "1")
+    ran = skipped = 0
+    with tempfile.TemporaryDirectory(prefix="docs-smoke-") as scratch:
+        for index, block in enumerate(blocks, start=1):
+            label = f"{page}#{index}"
+            lines = block.splitlines()
+            if not lines or lines[0].strip() == SKIP_MARKER:
+                print(f"SKIP {label}")
+                skipped += 1
+                continue
+            started = time.monotonic()
+            result = subprocess.run(
+                ["bash", "-euo", "pipefail", "-c", block],
+                cwd=scratch, env=env, capture_output=True, text=True,
+            )
+            elapsed = time.monotonic() - started
+            if result.returncode != 0:
+                print(f"FAIL {label} (exit {result.returncode})")
+                print("--- block " + "-" * 52)
+                print(block)
+                print("--- stdout " + "-" * 51)
+                print(result.stdout)
+                print("--- stderr " + "-" * 51)
+                print(result.stderr)
+                sys.exit(1)
+            print(f"ok   {label} ({elapsed:.1f}s)")
+            ran += 1
+    return ran, skipped
+
+
+def main(argv: List[str]) -> int:
+    pages = ([Path(arg) for arg in argv]
+             or sorted((REPO_ROOT / "docs").glob("*.md")))
+    total_ran = total_skipped = 0
+    for page in pages:
+        ran, skipped = run_page(page)
+        total_ran += ran
+        total_skipped += skipped
+    print(f"docs smoke: {total_ran} block(s) ran, {total_skipped} skipped, "
+          f"{len(pages)} page(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
