@@ -5,7 +5,12 @@ Measures the two wins of the compile-once / execute-many engine:
 * **compile cache** — wall-clock of compiling the benchmarks × designs grid
   cold versus re-compiling it against a warm artifact cache (the situation
   of every repetition after the first, and of sweep steps that share a
-  cache), and
+  cache),
+* **persistent compile cache** — wall-clock of a *fresh* cache instance
+  compiling the grid against a populated ``--cache-dir`` /
+  ``REPRO_CACHE_DIR`` directory (the cross-process situation: a new CLI
+  invocation starting with compilation already paid), asserting the second
+  instance compiles with zero misses, and
 * **execution backends** — wall-clock of replaying the full seed × cell
   grid through :class:`SerialBackend` versus :class:`ProcessPoolBackend`,
   asserting the results are identical.
@@ -18,6 +23,8 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
+import tempfile
 import time
 from pathlib import Path
 
@@ -27,6 +34,7 @@ from repro.engine import (
     ArtifactCache,
     CellCompiler,
     ExperimentEngine,
+    PersistentArtifactCache,
     ProcessPoolBackend,
 )
 from repro.engine.backends import ExecutionTask
@@ -65,6 +73,20 @@ def test_engine_benchmark():
     warm_s = _compile_grid(warm_cache)
     compile_speedup = cold_s / warm_s if warm_s > 0 else float("inf")
 
+    # --- persistent cache: fresh instance against a populated dir ------
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+    try:
+        persist_cold_s = _compile_grid(PersistentArtifactCache(cache_dir))
+        # A brand-new instance has an empty memory tier — every artifact
+        # must come off disk, which is exactly what a new process pays.
+        persist_warm_cache = PersistentArtifactCache(cache_dir)
+        persist_warm_s = _compile_grid(persist_warm_cache)
+        persist_stats = persist_warm_cache.stats()
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    persist_speedup = (persist_cold_s / persist_warm_s if persist_warm_s > 0
+                       else float("inf"))
+
     # --- execute stage: serial vs process pool -------------------------
     serial_engine = ExperimentEngine(config, backend="serial")
     cells = serial_engine.compile_grid()
@@ -102,6 +124,12 @@ def test_engine_benchmark():
             "speedup": compile_speedup,
             "cache_stats": warm_cache.stats(),
         },
+        "compile_persistent": {
+            "cold_s": persist_cold_s,
+            "warm_s": persist_warm_s,
+            "speedup": persist_speedup,
+            "cache_stats": persist_stats,
+        },
         "execute": {
             "serial_s": serial_s,
             "process_s": process_s,
@@ -120,6 +148,9 @@ def test_engine_benchmark():
             f"compile cold:   {cold_s * 1e3:8.1f} ms",
             f"compile warm:   {warm_s * 1e3:8.1f} ms  "
             f"(speedup {compile_speedup:.0f}x)",
+            f"compile disk:   {persist_warm_s * 1e3:8.1f} ms  "
+            f"(fresh instance, speedup {persist_speedup:.0f}x, "
+            f"misses={persist_stats['misses']})",
             f"execute serial: {serial_s * 1e3:8.1f} ms",
             f"execute pool:   {process_s * 1e3:8.1f} ms  "
             f"({workers} workers, identical results)",
@@ -130,3 +161,7 @@ def test_engine_benchmark():
     # The warm compile must be served from the cache, i.e. dramatically
     # cheaper than the cold compile.
     assert compile_speedup > 5
+    # The fresh instance must compile nothing at all — every artifact comes
+    # off disk (the cross-process contract of the persistent tier).
+    assert persist_stats["misses"] == 0
+    assert persist_stats["disk_hits"] > 0

@@ -25,10 +25,12 @@ Once registered, the names work everywhere a built-in does:
 axes (``Axis("partition_method", [...])``), spec files, and the
 ``python -m repro`` CLI.
 
-The ``REPRO_EXEC`` knob (``execution_mode`` / ``BATCHED`` / ``LEGACY``)
-selects between the batched execution core and the reference per-gate
-executor — both bit-identical per seed — and ``REPRO_BACKEND`` picks the
-default execution backend; see ``docs/architecture.md``.
+The ``REPRO_EXEC`` knob (``execution_mode`` / ``BATCHED`` / ``VECTOR`` /
+``LEGACY``) selects between the three execution cores — all bit-identical
+per seed — ``REPRO_BACKEND`` picks the default execution backend, and
+``REPRO_CACHE_DIR`` (``default_cache`` / ``PersistentArtifactCache``)
+persists compile artifacts on disk for cross-process reuse; see
+``docs/architecture.md``.
 """
 
 from repro.benchmarks.registry import (
@@ -43,6 +45,13 @@ from repro.engine.backends import (
     get_backend,
     list_backends,
     register_backend,
+)
+from repro.engine.cache import (
+    CACHE_ENV_VAR,
+    ArtifactCache,
+    PersistentArtifactCache,
+    default_cache,
+    resolve_cache_dir,
 )
 from repro.hardware.topology import (
     Topology,
@@ -64,7 +73,13 @@ from repro.runtime.designs import (
     list_designs,
     register_design,
 )
-from repro.runtime.execmode import BATCHED, EXEC_ENV_VAR, LEGACY, execution_mode
+from repro.runtime.execmode import (
+    BATCHED,
+    EXEC_ENV_VAR,
+    LEGACY,
+    VECTOR,
+    execution_mode,
+)
 
 __all__ = [
     # partitioners
@@ -98,6 +113,13 @@ __all__ = [
     # execution cores (REPRO_EXEC)
     "BATCHED",
     "LEGACY",
+    "VECTOR",
     "EXEC_ENV_VAR",
     "execution_mode",
+    # compile caches (REPRO_CACHE_DIR)
+    "ArtifactCache",
+    "PersistentArtifactCache",
+    "default_cache",
+    "resolve_cache_dir",
+    "CACHE_ENV_VAR",
 ]

@@ -11,8 +11,16 @@ The engine splits the simulation pipeline into two explicit stages:
   or across a process pool.  Backends dispatch ``(cell, seed-chunk)``
   batches to the trajectory-batched execution core
   (:class:`~repro.runtime.batched.BatchedExecutor`); set
-  ``REPRO_EXEC=legacy`` to replay through the reference
-  :class:`~repro.runtime.executor.DesignExecutor` instead.
+  ``REPRO_EXEC=vector`` for the cross-seed vectorized core
+  (:class:`~repro.runtime.vectorized.VectorizedExecutor`) or
+  ``REPRO_EXEC=legacy`` for the reference
+  :class:`~repro.runtime.executor.DesignExecutor`.
+
+The compile cache can persist across processes: point ``REPRO_CACHE_DIR``
+(or pass ``cache_dir`` / a :class:`PersistentArtifactCache`) at a directory
+and compiled artifacts are pickled there keyed by their configuration
+fingerprints, so a fresh process starts sweeps with compilation already
+paid.
 
 :class:`~repro.engine.pipeline.ExperimentEngine` ties the stages together
 for full benchmarks × designs × seeds grids.
@@ -28,12 +36,23 @@ from repro.engine.backends import (
     list_backends,
     register_backend,
 )
-from repro.engine.cache import ArtifactCache, fingerprint
+from repro.engine.cache import (
+    CACHE_ENV_VAR,
+    ArtifactCache,
+    PersistentArtifactCache,
+    default_cache,
+    fingerprint,
+    resolve_cache_dir,
+)
 from repro.engine.compiler import CellCompiler, CompiledCell
 from repro.engine.pipeline import ExperimentEngine
 
 __all__ = [
     "ArtifactCache",
+    "PersistentArtifactCache",
+    "default_cache",
+    "resolve_cache_dir",
+    "CACHE_ENV_VAR",
     "fingerprint",
     "CellCompiler",
     "CompiledCell",

@@ -1,14 +1,25 @@
-"""Compile-artifact cache keyed by configuration fingerprints.
+"""Compile-artifact caches keyed by configuration fingerprints.
 
 The compile stage of the engine is deterministic: the same (system,
 partitioning, benchmark, design, scheduling parameters) always produces the
-same :class:`~repro.engine.compiler.CompiledCell`.  The cache therefore keys
+same :class:`~repro.engine.compiler.CompiledCell`.  The caches therefore key
 artifacts by a SHA-256 fingerprint of the *configuration that produced them*
 rather than by object identity, so sweeps such as
 :func:`~repro.core.experiment.run_comm_qubit_sweep` can share one cache
 across system variations and only recompile what actually changed (the
 partitioned program survives a communication-qubit change; the schedule
 lookup table does not).
+
+Two tiers are available:
+
+* :class:`ArtifactCache` — in-memory only; dies with the process.
+* :class:`PersistentArtifactCache` — the same interface with a disk tier:
+  artifacts are pickled under a cache directory (layout
+  ``<dir>/v<N>/<namespace>/<fingerprint>.pkl``, where ``v<N>`` is the
+  on-disk format version), written atomically (temp file + rename), and
+  read back across processes.  Corrupted or truncated entries are treated
+  as misses and removed.  ``REPRO_CACHE_DIR`` (or the CLI's ``--cache-dir``)
+  selects the directory; see :func:`default_cache`.
 """
 
 from __future__ import annotations
@@ -16,9 +27,32 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
-from typing import Any, Dict, Optional, Tuple
+import os
+import pickle
+import shutil
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
-__all__ = ["ArtifactCache", "fingerprint"]
+__all__ = [
+    "ArtifactCache",
+    "PersistentArtifactCache",
+    "fingerprint",
+    "resolve_cache_dir",
+    "default_cache",
+    "CACHE_ENV_VAR",
+    "CACHE_FORMAT_VERSION",
+]
+
+#: Environment variable selecting the persistent cache directory.
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: On-disk format version; bump when pickled artifact layouts change so
+#: stale entries from older code are invalidated wholesale (they live under
+#: a different ``v<N>`` directory and are simply never read again).
+CACHE_FORMAT_VERSION = 1
+
+#: Internal sentinel distinguishing "nothing stored" from a stored ``None``.
+_MISSING = object()
 
 
 def _canonical(value: Any) -> Any:
@@ -68,23 +102,31 @@ class ArtifactCache:
 
     # ------------------------------------------------------------------
     def get(self, namespace: str, key: str) -> Optional[Any]:
-        """Look up an artifact, counting the hit or miss."""
-        entry = self._entries.get((namespace, key))
-        if entry is None:
+        """Look up an artifact, counting the hit or miss.
+
+        A stored ``None`` artifact is a *hit* (distinguished from an absent
+        entry by an internal sentinel), so the hit/miss statistics stay
+        truthful for caches that legitimately store ``None`` values.
+        """
+        entry = self._entries.get((namespace, key), _MISSING)
+        if entry is _MISSING:
             self.misses += 1
-        else:
-            self.hits += 1
+            return None
+        self.hits += 1
         return entry
 
     def put(self, namespace: str, key: str, artifact: Any) -> Any:
         """Store an artifact and return it (for call-site chaining)."""
+        self._store_memory(namespace, key, artifact)
+        return artifact
+
+    def _store_memory(self, namespace: str, key: str, artifact: Any) -> None:
         if (self.max_entries is not None
                 and (namespace, key) not in self._entries
                 and len(self._entries) >= self.max_entries):
             oldest = next(iter(self._entries))
             del self._entries[oldest]
         self._entries[(namespace, key)] = artifact
-        return artifact
 
     def count(self, namespace: Optional[str] = None) -> int:
         """Number of stored artifacts, optionally within one namespace."""
@@ -121,14 +163,17 @@ class ArtifactCache:
             return 0.0
         return self.hits / total
 
-    def stats(self) -> Dict[str, float]:
-        """Flat statistics summary (used by benchmarks and reports)."""
+    def stats(self) -> Dict[str, Union[int, float]]:
+        """Flat statistics summary (used by benchmarks and reports).
+
+        Counter values are plain ``int``; only ``hit_rate`` is a float.
+        """
         return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "lookups": self.hits + self.misses,
-            "hit_rate": self.hit_rate,
+            "entries": int(len(self._entries)),
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "lookups": int(self.hits + self.misses),
+            "hit_rate": float(self.hit_rate),
         }
 
     def __len__(self) -> int:
@@ -136,3 +181,192 @@ class ArtifactCache:
 
     def __contains__(self, key: Tuple[str, str]) -> bool:
         return key in self._entries
+
+
+class PersistentArtifactCache(ArtifactCache):
+    """Two-tier artifact cache: an in-memory LRU front over a disk store.
+
+    Artifacts are pickled under ``directory/v<version>/<namespace>/<key>.pkl``
+    so a fresh process (or machine reboot) starts sweeps with compilation
+    already paid.  The fingerprint keys are stable across processes (SHA-256
+    of the canonicalised configuration), and the ``v<version>`` path segment
+    acts as a format-version salt: bumping
+    :data:`CACHE_FORMAT_VERSION` orphans old entries instead of unpickling
+    incompatible layouts.
+
+    Writes are atomic (temp file in the target directory, then
+    ``os.replace``), so concurrent writers of the same key leave one valid
+    entry and readers never observe a torn file.  Unreadable or corrupted
+    entries are treated as misses and deleted.  Disk write failures (e.g. a
+    full disk) degrade the cache to memory-only for the affected entries and
+    are counted in ``disk_errors`` rather than aborting the sweep.
+
+    With ``max_entries`` set, the memory front evicts least-recently-used
+    entries (a memory hit refreshes recency); evicted artifacts remain on
+    disk and are promoted back on their next lookup.
+    """
+
+    def __init__(self, directory: Union[str, Path],
+                 max_entries: Optional[int] = None,
+                 version: int = CACHE_FORMAT_VERSION) -> None:
+        super().__init__(max_entries=max_entries)
+        self.directory = Path(directory).expanduser()
+        self.version = int(version)
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.disk_errors = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Path:
+        """The versioned root all entries of this cache live under."""
+        return self.directory / f"v{self.version}"
+
+    def entry_path(self, namespace: str, key: str) -> Path:
+        """On-disk location of one artifact."""
+        return self.root / namespace / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    def get(self, namespace: str, key: str) -> Optional[Any]:
+        entry = self._entries.get((namespace, key), _MISSING)
+        if entry is not _MISSING:
+            self.hits += 1
+            self.memory_hits += 1
+            if self.max_entries is not None:
+                # LRU refresh: re-insert so eviction pops the least
+                # recently *used* entry, not the least recently stored.
+                del self._entries[(namespace, key)]
+                self._entries[(namespace, key)] = entry
+            return entry
+        artifact = self._read_disk(namespace, key)
+        if artifact is _MISSING:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self.disk_hits += 1
+        self._store_memory(namespace, key, artifact)
+        return artifact
+
+    def put(self, namespace: str, key: str, artifact: Any) -> Any:
+        self._store_memory(namespace, key, artifact)
+        self._write_disk(namespace, key, artifact)
+        return artifact
+
+    # ------------------------------------------------------------------
+    def _read_disk(self, namespace: str, key: str) -> Any:
+        path = self.entry_path(namespace, key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return _MISSING
+        except Exception:
+            # Truncated write from a killed process, bit rot, or an entry
+            # pickled by incompatible code: any unpickling failure is a
+            # miss, and the bad file is removed so it is re-written clean.
+            self.disk_errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return _MISSING
+
+    def _write_disk(self, namespace: str, key: str, artifact: Any) -> None:
+        path = self.entry_path(namespace, key)
+        tmp: Optional[Path] = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            with open(tmp, "wb") as handle:
+                pickle.dump(artifact, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+            tmp = None
+        except Exception:
+            # A full/read-only disk (OSError) or an artifact that cannot be
+            # pickled (closures, open handles) must not fail the compile —
+            # the cache degrades to memory-only for that entry.
+            self.disk_errors += 1
+        finally:
+            if tmp is not None:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    def disk_entries(self) -> Iterator[Tuple[str, str, int, float]]:
+        """Yield ``(namespace, key, size_bytes, mtime)`` per disk entry."""
+        root = self.root
+        if not root.is_dir():
+            return
+        for ns_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+            for path in sorted(ns_dir.glob("*.pkl")):
+                try:
+                    stat = path.stat()
+                except OSError:  # pragma: no cover - raced deletion
+                    continue
+                yield ns_dir.name, path.stem, int(stat.st_size), stat.st_mtime
+
+    def disk_count(self) -> int:
+        """Number of artifacts stored on disk (current format version)."""
+        return sum(1 for _ in self.disk_entries())
+
+    def disk_bytes(self) -> int:
+        """Total pickled size on disk (current format version)."""
+        return sum(size for _, _, size, _ in self.disk_entries())
+
+    def clear(self) -> None:
+        """Drop the memory front, the stats, and this version's disk tree."""
+        super().clear()
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.disk_errors = 0
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.disk_errors = 0
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        data = super().stats()
+        data.update({
+            "memory_hits": int(self.memory_hits),
+            "disk_hits": int(self.disk_hits),
+            "disk_errors": int(self.disk_errors),
+            "disk_entries": int(self.disk_count()),
+            "disk_bytes": int(self.disk_bytes()),
+        })
+        return data
+
+
+# ----------------------------------------------------------------------
+def resolve_cache_dir(override: Union[None, str, Path] = None
+                      ) -> Optional[Path]:
+    """Resolve the persistent cache directory, if any.
+
+    ``override`` (a CLI flag or API argument) wins; otherwise the
+    ``REPRO_CACHE_DIR`` environment variable applies.  ``None`` / empty
+    means no disk tier.
+    """
+    if override is not None and str(override) != "":
+        return Path(override).expanduser()
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env).expanduser()
+    return None
+
+
+def default_cache(cache_dir: Union[None, str, Path] = None,
+                  max_entries: Optional[int] = None) -> ArtifactCache:
+    """Build the default artifact cache, honouring ``REPRO_CACHE_DIR``.
+
+    Returns a :class:`PersistentArtifactCache` when a cache directory is
+    configured (argument or environment), else a plain in-memory
+    :class:`ArtifactCache`.
+    """
+    directory = resolve_cache_dir(cache_dir)
+    if directory is None:
+        return ArtifactCache(max_entries=max_entries)
+    return PersistentArtifactCache(directory, max_entries=max_entries)

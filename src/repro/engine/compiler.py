@@ -18,7 +18,7 @@ from typing import List, Optional, Sequence, Union
 from repro.benchmarks.registry import build_benchmark
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.config import SystemConfig
-from repro.engine.cache import ArtifactCache, fingerprint
+from repro.engine.cache import ArtifactCache, default_cache, fingerprint
 from repro.exceptions import ConfigurationError
 from repro.hardware.architecture import DQCArchitecture
 from repro.hardware.topology import validate_remote_pairs
@@ -26,10 +26,11 @@ from repro.partitioning.assigner import DistributedProgram, distribute_circuit
 from repro.partitioning.registry import get_partitioner
 from repro.runtime.batched import BatchedExecutor
 from repro.runtime.designs import DesignSpec, get_design
-from repro.runtime.execmode import LEGACY, execution_mode
+from repro.runtime.execmode import LEGACY, VECTOR, execution_mode
 from repro.runtime.executor import DesignExecutor
 from repro.runtime.gatestream import CompiledStreams, lower_cell
 from repro.runtime.metrics import ExecutionResult
+from repro.runtime.vectorized import VectorizedExecutor
 from repro.scheduling.lookup import ScheduleLookupTable
 from repro.scheduling.policies import AdaptivePolicy
 
@@ -85,23 +86,40 @@ class CompiledCell:
             streams=self.streams,
         )
 
+    def vector_executor(self) -> VectorizedExecutor:
+        """Build a :class:`VectorizedExecutor` over this cell's gate streams."""
+        return VectorizedExecutor(
+            self.architecture,
+            self.design,
+            segment_length=self.segment_length,
+            adaptive_policy=self.adaptive_policy,
+            lookup=self.lookup,
+            streams=self.streams,
+        )
+
     def execute_batch(self, seeds: Sequence[int],
                       mode: Optional[str] = None) -> List[ExecutionResult]:
         """Replay the cell under a batch of seeds, in seed order.
 
         ``mode`` overrides the process-wide execution core
         (:func:`~repro.runtime.execmode.execution_mode`): ``"batched"``
-        replays the lowered gate streams in one pass, ``"legacy"`` runs the
-        reference :class:`DesignExecutor` per seed.  Both produce identical
-        results for identical seeds.
+        replays the lowered gate streams once per seed, ``"vector"``
+        simulates the whole batch per gate-stream pass, ``"legacy"`` runs
+        the reference :class:`DesignExecutor` per seed.  All three produce
+        identical results for identical seeds.
         """
-        if execution_mode(mode) == LEGACY:
+        resolved = execution_mode(mode)
+        if resolved == LEGACY:
             return [
                 self.executor(seed=seed).run(
                     self.program, benchmark_name=self.benchmark
                 )
                 for seed in seeds
             ]
+        if resolved == VECTOR:
+            return self.vector_executor().run_batch(
+                self.program, seeds, benchmark_name=self.benchmark
+            )
         return self.batched_executor().run_batch(
             self.program, seeds, benchmark_name=self.benchmark
         )
@@ -139,13 +157,19 @@ class CellCompiler:
         (benchmark, partitioning) only — independent of communication /
         buffer qubit counts and of the interconnect topology — so sweeps
         over those axes reuse the partition and recompile just the schedule
-        lookup tables.
+        lookup tables.  When omitted, :func:`~repro.engine.cache.default_cache`
+        builds one — persistent on disk if ``REPRO_CACHE_DIR`` (or
+        ``cache_dir``) is set, in-memory otherwise.
+    cache_dir:
+        Optional persistent-cache directory for the default cache (ignored
+        when an explicit ``cache`` is passed).
     """
 
     def __init__(self, system: Optional[SystemConfig] = None,
                  partition_method=None,
                  partition_seed: int = 0,
-                 cache: Optional[ArtifactCache] = None) -> None:
+                 cache: Optional[ArtifactCache] = None,
+                 cache_dir=None) -> None:
         self.system = system or SystemConfig()
         method = (partition_method if partition_method is not None
                   else self.system.partition_method)
@@ -157,7 +181,7 @@ class CellCompiler:
         # shared artifact cache.
         self._partition_token = self.partitioner.cache_token()
         self.partition_seed = partition_seed
-        self.cache = cache if cache is not None else ArtifactCache()
+        self.cache = cache if cache is not None else default_cache(cache_dir)
         self._architecture: Optional[DQCArchitecture] = None
 
     # ------------------------------------------------------------------

@@ -40,17 +40,24 @@ class ExperimentEngine:
         artifacts across engines (e.g. between sweep steps).
     cache:
         Artifact cache used when the engine builds its own compiler.
+    cache_dir:
+        Optional persistent-cache directory for the compiler the engine
+        builds (a :class:`~repro.engine.cache.PersistentArtifactCache`
+        spills compiled artifacts there for cross-process reuse; ignored
+        when ``compiler`` or ``cache`` is passed).
     """
 
     def __init__(self, config: ExperimentConfig,
                  backend: BackendLike = None,
                  compiler: Optional[CellCompiler] = None,
-                 cache: Optional[ArtifactCache] = None) -> None:
+                 cache: Optional[ArtifactCache] = None,
+                 cache_dir=None) -> None:
         self.config = config
         self.compiler = compiler or CellCompiler(
             system=config.system,
             partition_seed=config.partition_seed,
             cache=cache,
+            cache_dir=cache_dir,
         )
         self.backend = get_backend(backend)
 

@@ -28,6 +28,13 @@ Subcommands
 
         python -m repro status --store runs/fig5
 
+``cache``
+    Inspect or clear a persistent compile cache (``--cache-dir`` on the
+    study commands, or the ``REPRO_CACHE_DIR`` environment variable)::
+
+        python -m repro cache stats --cache-dir ~/.cache/repro
+        python -m repro cache clear --cache-dir ~/.cache/repro
+
 ``list-benchmarks`` / ``list-designs`` / ``list-partitioners`` / ``list-topologies``
     Show the registered benchmark suite, the paper's designs, the pluggable
     partitioning strategies, and the interconnect topologies.
@@ -51,6 +58,12 @@ from repro.analysis.report import format_table, store_status_report, summary_rep
 from repro.benchmarks.registry import get_benchmark, list_benchmarks
 from repro.core.config import SystemConfig
 from repro.engine.backends import list_backends
+from repro.engine.cache import (
+    CACHE_ENV_VAR,
+    PersistentArtifactCache,
+    default_cache,
+    resolve_cache_dir,
+)
 from repro.exceptions import ReproError
 from repro.hardware.topology import TOPOLOGIES, list_topologies
 from repro.partitioning.registry import PARTITIONERS, list_partitioners
@@ -134,6 +147,13 @@ def _add_study_options(parser: argparse.ArgumentParser) -> None:
                              "default all_to_all)")
     parser.add_argument("--partition-seed", type=int, default=None, metavar="S",
                         help="graph-partitioner seed (default 0)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent compile-cache directory: compiled "
+                             "artifacts are pickled there keyed by their "
+                             "configuration fingerprints, so a later run of "
+                             "an overlapping study skips compilation "
+                             f"(default: ${CACHE_ENV_VAR} if set, else "
+                             "in-memory only)")
     parser.add_argument("--out", "-o", default=None, metavar="PATH",
                         help="write the ResultSet as JSON (or CSV if the "
                              "path ends in .csv)")
@@ -183,6 +203,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--spec", default=None, metavar="FILE",
                        help="JSON study spec file (flags override its "
                             "runs/seed/backend)")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear a persistent compile cache")
+    cache.add_argument("action", choices=("stats", "show", "clear"),
+                       help="stats: entry/byte totals; show: one line per "
+                            "cached artifact; clear: delete every entry")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default: $" + CACHE_ENV_VAR + ")")
+    cache.add_argument("--json", action="store_true",
+                       help="print stats as JSON instead of a table")
 
     status = sub.add_parser(
         "status", help="summarise a run store's manifest")
@@ -250,7 +280,8 @@ def _study_from_args(args: argparse.Namespace) -> Study:
         overrides = _system_overrides(args)
         if overrides:
             effective["system"] = {**(spec.get("system") or {}), **overrides}
-        return Study.from_spec(effective, backend=args.backend)
+        return Study.from_spec(effective, backend=args.backend,
+                               cache_dir=args.cache_dir)
     if not args.benchmark and not any(a.fields == ("benchmark",)
                                       for a in axes):
         raise ReproError("no benchmark given (use --benchmark, an "
@@ -267,6 +298,7 @@ def _study_from_args(args: argparse.Namespace) -> Study:
                 else SystemConfig()),
         partition_seed=args.partition_seed or 0,
         backend=args.backend,
+        cache_dir=args.cache_dir,
     )
 
 
@@ -374,6 +406,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"repro: store {store_path} is at "
               f"{summary['done_chunks']}/{summary['total_chunks']} chunks; "
               f"re-run the same command to resume", file=sys.stderr)
+    if isinstance(study.cache, PersistentArtifactCache):
+        stats = study.cache.stats()
+        print(f"compile cache: hits={stats['hits']} "
+              f"misses={stats['misses']} "
+              f"hit_rate={stats['hit_rate']:.2f} "
+              f"disk_entries={stats['disk_entries']} "
+              f"dir={study.cache.directory}", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    directory = resolve_cache_dir(args.cache_dir)
+    if directory is None:
+        raise ReproError(
+            f"no cache directory given (use --cache-dir or set "
+            f"${CACHE_ENV_VAR})"
+        )
+    cache = PersistentArtifactCache(directory)
+    if args.action == "clear":
+        removed = cache.disk_count()
+        cache.clear()
+        print(f"cleared {removed} cached artifact(s) from {directory}")
+        return 0
+    if args.action == "show":
+        rows = [[namespace, key[:16], size, f"{mtime:.0f}"]
+                for namespace, key, size, mtime in cache.disk_entries()]
+        if rows:
+            print(format_table(["namespace", "fingerprint", "bytes", "mtime"],
+                               rows))
+        else:
+            print(f"cache at {directory} is empty")
+        return 0
+    summary = {
+        "directory": str(directory),
+        "version": cache.version,
+        "disk_entries": cache.disk_count(),
+        "disk_bytes": cache.disk_bytes(),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(format_table(
+            ["field", "value"],
+            [[key, value] for key, value in summary.items()],
+        ))
     return 0
 
 
@@ -458,6 +535,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command in ("run", "sweep"):
             return _cmd_run(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "status":
             return _cmd_status(args)
         if args.command == "list-benchmarks":

@@ -37,7 +37,7 @@ from typing import (
 
 from repro.core.config import SystemConfig
 from repro.engine.backends import BackendLike, ExecutionBackend, ExecutionTask, get_backend
-from repro.engine.cache import ArtifactCache, fingerprint
+from repro.engine.cache import ArtifactCache, default_cache, fingerprint
 from repro.engine.compiler import CellCompiler, CompiledCell
 from repro.exceptions import ConfigurationError, PartitionError, TopologyError
 from repro.hardware.parameters import GateFidelities, GateTimes
@@ -142,6 +142,13 @@ class Study:
         Shared compile-artifact cache (one is created if omitted), used by
         every system variant of the study — a sweep therefore partitions
         each benchmark once no matter how many system points it visits.
+    cache_dir:
+        Optional persistent-cache directory; when no ``cache`` instance is
+        passed, the study builds its cache with
+        :func:`~repro.engine.cache.default_cache`, so this directory (or,
+        failing that, ``REPRO_CACHE_DIR``) upgrades the cache to a
+        :class:`~repro.engine.cache.PersistentArtifactCache` that carries
+        compiled artifacts across processes.
     name:
         Optional label stored in the result metadata.
     """
@@ -160,6 +167,7 @@ class Study:
         partition_seed: int = 0,
         backend: BackendLike = None,
         cache: Optional[ArtifactCache] = None,
+        cache_dir: Union[None, str, Path] = None,
         name: Optional[str] = None,
     ) -> None:
         if num_runs < 1:
@@ -175,7 +183,7 @@ class Study:
                                   partition_method=partition_method)
         self.partition_method = self.system.partition_method
         self.partition_seed = partition_seed
-        self.cache = cache if cache is not None else ArtifactCache()
+        self.cache = cache if cache is not None else default_cache(cache_dir)
 
         custom = _normalise_axes(axes)
         self._benchmarks = self._benchmark_axis(benchmarks, custom)
@@ -674,7 +682,8 @@ class Study:
     @classmethod
     def from_spec(cls, spec: Mapping[str, Any],
                   backend: BackendLike = None,
-                  cache: Optional[ArtifactCache] = None) -> "Study":
+                  cache: Optional[ArtifactCache] = None,
+                  cache_dir: Union[None, str, Path] = None) -> "Study":
         """Build a study from a :meth:`to_spec` / CLI JSON dictionary.
 
         Only JSON-native axis values (numbers, strings, zipped lists) are
@@ -726,6 +735,7 @@ class Study:
             partition_seed=int(spec.get("partition_seed", 0)),
             backend=backend,
             cache=cache,
+            cache_dir=cache_dir,
             name=spec.get("name"),
         )
 
