@@ -1,0 +1,103 @@
+"""Service benchmark — submission latency and job throughput.
+
+Measures the overhead the :mod:`repro.service` daemon adds around the
+execution engine:
+
+* **submit latency** — wall-clock of one ``POST /jobs`` round-trip
+  (spec validation + plan expansion + journal fsync + enqueue), measured
+  per submission across a batch of distinct specs, and
+* **throughput** — end-to-end jobs per minute for that batch: first
+  submission to last job ``done``, fetched through the API.
+
+Emits ``BENCH_service.json`` next to the repository root so runs can be
+archived and compared.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from conftest import backend_name, emit, repetitions
+from repro.service import ServiceClient, ServiceConfig, StudyDaemon
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+NUM_JOBS = 8
+
+SYSTEM = {"data_qubits_per_node": 16, "comm_qubits_per_node": 4,
+          "buffer_qubits_per_node": 4}
+
+
+def _spec(index: int) -> dict:
+    # Distinct base seeds → distinct plans → every job does real work in
+    # its own store (no resume shortcuts flattering the numbers).
+    return {"benchmarks": ["TLIM-32"], "designs": ["ideal", "original"],
+            "num_runs": repetitions(), "base_seed": 1 + index,
+            "system": dict(SYSTEM), "name": f"bench-service-{index}"}
+
+
+def test_submit_latency_and_throughput(tmp_path):
+    daemon = StudyDaemon(ServiceConfig(data_root=tmp_path / "svc", port=0,
+                                       backend=backend_name()))
+    daemon.start()
+    try:
+        client = ServiceClient(daemon.address, client="bench")
+        batch_start = time.perf_counter()
+        latencies = []
+        jobs = []
+        for index in range(NUM_JOBS):
+            start = time.perf_counter()
+            jobs.append(client.submit(_spec(index)))
+            latencies.append(time.perf_counter() - start)
+        for job in jobs:
+            status = client.wait(job["id"], timeout=600)
+            assert status["state"] == "done", status
+        elapsed = time.perf_counter() - batch_start
+        # The fetch is part of the service contract; include one round-trip
+        # so a pathologically slow results path would show up here.
+        fetch_start = time.perf_counter()
+        text = client.results(jobs[-1]["id"])
+        fetch_s = time.perf_counter() - fetch_start
+        assert json.loads(text)["records"], "fetched results hold no records"
+    finally:
+        daemon.stop(timeout=10)
+
+    jobs_per_minute = NUM_JOBS / elapsed * 60.0
+    payload = {
+        "num_jobs": NUM_JOBS,
+        "runs_per_job": repetitions() * 2,
+        "backend": backend_name(),
+        "submit_latency_ms": {
+            "mean": round(statistics.mean(latencies) * 1e3, 3),
+            "median": round(statistics.median(latencies) * 1e3, 3),
+            "max": round(max(latencies) * 1e3, 3),
+        },
+        "batch_elapsed_s": round(elapsed, 3),
+        "jobs_per_minute": round(jobs_per_minute, 2),
+        "results_fetch_s": round(fetch_s, 4),
+    }
+    _merge_payload({"service": payload})
+    emit(
+        "service: submission latency / throughput",
+        "\n".join([
+            f"jobs               : {NUM_JOBS} x {repetitions() * 2} runs "
+            f"({backend_name()} backend)",
+            f"submit latency     : median "
+            f"{payload['submit_latency_ms']['median']:.1f} ms, max "
+            f"{payload['submit_latency_ms']['max']:.1f} ms",
+            f"batch wall-clock   : {elapsed:.2f} s "
+            f"({jobs_per_minute:.0f} jobs/min)",
+            f"results fetch      : {fetch_s * 1e3:.1f} ms",
+        ]),
+    )
+
+
+def _merge_payload(update: dict) -> None:
+    payload = {}
+    if OUTPUT_PATH.exists():
+        payload = json.loads(OUTPUT_PATH.read_text())
+    payload.update(update)
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -80,6 +80,11 @@ from repro.runtime.execmode import (
     VECTOR,
     execution_mode,
 )
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    StudyDaemon,
+)
 
 __all__ = [
     # partitioners
@@ -122,4 +127,8 @@ __all__ = [
     "default_cache",
     "resolve_cache_dir",
     "CACHE_ENV_VAR",
+    # study service (repro serve / docs/service.md)
+    "StudyDaemon",
+    "ServiceConfig",
+    "ServiceClient",
 ]

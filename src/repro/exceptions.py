@@ -60,6 +60,33 @@ class ConfigurationError(ReproError):
     """Raised for inconsistent experiment or system configuration."""
 
 
+class SpecValidationError(ConfigurationError):
+    """A study spec failed validation, with a machine-readable payload.
+
+    Raised by :meth:`~repro.study.study.Study.from_spec` so both the CLI
+    and the service API can surface *which* part of the spec is wrong —
+    ``field`` names the offending spec location (dotted for nested fields,
+    e.g. ``"system.num_qubits"``; ``None`` when the error is not tied to
+    one field) and ``allowed`` enumerates the acceptable values or field
+    names when the set is known.
+    """
+
+    def __init__(self, message: str, *, field: "str | None" = None,
+                 allowed: "tuple | list | None" = None) -> None:
+        super().__init__(message)
+        self.field = field
+        self.allowed = list(allowed) if allowed is not None else None
+
+    def to_dict(self) -> dict:
+        """JSON-friendly payload (the service API's 400 response body)."""
+        return {
+            "error": "invalid-spec",
+            "field": self.field,
+            "message": str(self),
+            "allowed": self.allowed,
+        }
+
+
 class StoreError(ReproError):
     """Raised for invalid, mismatched, or corrupt durable run stores."""
 

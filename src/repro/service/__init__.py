@@ -1,0 +1,36 @@
+"""Long-running study service: a job-queue daemon over the study engine.
+
+The :mod:`repro.service` package turns the library into a *service*: study
+specs (the ``--spec`` JSON the CLI already runs) are submitted over an
+HTTP/JSON API, become durable :class:`~repro.service.jobs.Job` entries in an
+append-only journal, and are drained by a scheduler from a priority queue
+into the execution backend — each job streaming into its own
+:class:`~repro.study.store.RunStore` so a crashed or killed daemon re-queues
+interrupted jobs on restart and resumes them chunk-exactly.
+
+Layers (bottom up):
+
+* :mod:`repro.service.jobs` — the job model, state machine, and journal;
+* :mod:`repro.service.jobqueue` — the thread-safe priority queue;
+* :mod:`repro.service.scheduler` — worker loop: queue → Study.run(store=…);
+* :mod:`repro.service.httpapi` — the ``ThreadingHTTPServer`` JSON surface;
+* :mod:`repro.service.daemon` — data-root layout and lifecycle glue;
+* :mod:`repro.service.client` — the stdlib HTTP client the CLI speaks.
+
+Everything is stdlib-only (``http.server``, ``json``, ``threading``).
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import ServiceConfig, StudyDaemon
+from repro.service.jobs import Job, JobJournal, JobRegistry, JobState
+
+__all__ = [
+    "Job",
+    "JobJournal",
+    "JobRegistry",
+    "JobState",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "StudyDaemon",
+]

@@ -1,0 +1,291 @@
+"""The study daemon: data-root layout, job lifecycle, and service glue.
+
+A :class:`StudyDaemon` owns one **data root** directory::
+
+    <data-root>/
+        jobs.journal            append-only job journal (JobJournal)
+        jobs/<id>/spec.json     submitted spec, one readable copy per job
+        stores/<fingerprint>/   one RunStore per distinct *plan* — identical
+                                specs share a store, so a cancelled job's
+                                resubmission (and a restarted daemon's
+                                re-queue) resume from the committed chunks
+        cache/                  the shared persistent compile cache
+                                (unless the config points elsewhere)
+
+and wires the service layers together: journal-backed
+:class:`~repro.service.jobs.JobRegistry`, priority
+:class:`~repro.service.jobqueue.JobQueue`,
+:class:`~repro.service.scheduler.Scheduler` worker pool, and the
+:mod:`~repro.service.httpapi` HTTP surface.  Restart recovery is the
+composition of two existing guarantees: the journal re-queues jobs that
+were running when the daemon died, and the run store resumes each of them
+chunk-exactly — so a ``kill -9``'d daemon finishes its interrupted jobs
+with results byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.engine.cache import default_cache
+from repro.exceptions import ReproError, StoreError
+from repro.service.jobqueue import JobQueue
+from repro.service.jobs import Job, JobJournal, JobRegistry, JobState
+from repro.service.scheduler import Scheduler
+from repro.study.store import RunStore
+from repro.study.study import Study
+
+__all__ = ["ServiceConfig", "StudyDaemon", "QuotaError", "JobNotReady"]
+
+#: Default TCP port of the service (REPRO, loosely, on a phone keypad).
+DEFAULT_PORT = 8765
+
+
+class QuotaError(ReproError):
+    """A client exceeded its active-job quota (HTTP 429)."""
+
+    def __init__(self, client: str, active: int, limit: int) -> None:
+        super().__init__(
+            f"client {client!r} has {active} active job(s), the per-client "
+            f"limit is {limit}; wait for one to finish or cancel it"
+        )
+        self.client = client
+        self.active = active
+        self.limit = limit
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON payload of the 429 response."""
+        return {"error": "quota-exceeded", "client": self.client,
+                "active": self.active, "limit": self.limit,
+                "message": str(self)}
+
+
+class JobNotReady(ReproError):
+    """Results were requested before the job reached ``done`` (HTTP 409)."""
+
+    def __init__(self, job: Job) -> None:
+        super().__init__(
+            f"job {job.id} is {job.state}; results are served once it is "
+            f"done" + (f" ({job.error})" if job.error else "")
+        )
+        self.job = job
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON payload of the 409 response."""
+        return {"error": "job-not-ready", "id": self.job.id,
+                "state": self.job.state.value, "message": str(self)}
+
+
+@dataclass
+class ServiceConfig:
+    """Tunable knobs of one daemon instance."""
+
+    data_root: Union[str, Path]
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    concurrency: int = 1
+    max_jobs_per_client: int = 16
+    backend: Optional[str] = None
+    cache_dir: Union[None, str, Path] = None
+    store_chunk_size: Optional[int] = None
+
+
+class StudyDaemon:
+    """One service instance: submit, schedule, observe, and serve studies."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.data_root = Path(config.data_root)
+        self.journal = JobJournal(self.data_root / "jobs.journal")
+        self.registry = JobRegistry(self.journal)
+        self.queue = JobQueue()
+        cache_dir = (Path(config.cache_dir) if config.cache_dir is not None
+                     else self.data_root / "cache")
+        #: One artifact cache shared by every job of the daemon — compiled
+        #: cells persist on disk, so repeat submissions start in
+        #: milliseconds instead of recompiling.
+        self.cache = default_cache(cache_dir)
+        self.scheduler = Scheduler(
+            self.registry, self.queue, self.data_root,
+            cache=self.cache,
+            backend=config.backend,
+            concurrency=config.concurrency,
+            store_chunk_size=config.store_chunk_size,
+        )
+        self._server = None
+        self._server_thread: Optional[threading.Thread] = None
+        self._started = time.time()
+        self._submit_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Recover journalled jobs, start the workers, bind the API."""
+        from repro.service.httpapi import build_server
+
+        self.data_root.mkdir(parents=True, exist_ok=True)
+        (self.data_root / "jobs").mkdir(exist_ok=True)
+        (self.data_root / "stores").mkdir(exist_ok=True)
+        self._started = time.time()
+        for job in self.registry.load():
+            self.queue.push(job)
+        self.scheduler.start()
+        self._server = build_server(self, self.config.host, self.config.port)
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+
+    @property
+    def address(self) -> str:
+        """The bound base URL (resolves a ``port=0`` ephemeral bind)."""
+        if self._server is None:
+            return f"http://{self.config.host}:{self.config.port}"
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Shut the API, wind down workers, close the journal.
+
+        Jobs mid-run are re-queued (their committed chunks are durable),
+        so the next :meth:`start` against the same data root resumes them.
+        """
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=timeout)
+            self._server_thread = None
+        self.scheduler.stop(timeout=timeout)
+        self.journal.close()
+
+    def serve_forever(self) -> None:
+        """Run until interrupted (the ``repro serve`` entry point)."""
+        self.start()
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    # ------------------------------------------------------------------
+    # the service operations (HTTP handlers call these)
+    # ------------------------------------------------------------------
+    def submit(self, spec: Dict[str, Any], *, client: str = "anonymous",
+               priority: int = 0) -> Job:
+        """Validate a spec and enqueue it as a new job.
+
+        Raises :class:`~repro.exceptions.SpecValidationError` (the API's
+        structured 400) for an invalid spec and :class:`QuotaError` (429)
+        when the client is at its active-job limit.  Validation expands
+        the plan once — which also yields the plan fingerprint that names
+        the job's run store, so identical plans share one store.
+        """
+        study = Study.from_spec(spec)
+        plan = study.plan()
+        fingerprint = study.plan_fingerprint(plan)
+        with self._submit_lock:
+            active = self.registry.active_count(client)
+            if active >= self.config.max_jobs_per_client:
+                raise QuotaError(client, active,
+                                 self.config.max_jobs_per_client)
+            index = self.registry.next_index()
+            job = Job(
+                id=f"job-{index + 1:06d}",
+                spec=dict(spec),
+                client=client,
+                priority=int(priority),
+                state=JobState.QUEUED,
+                created=time.time(),
+                submit_index=index,
+                store=f"stores/{fingerprint[:16]}",
+                fingerprint=fingerprint,
+                cells=len(plan),
+                total_tasks=plan.num_tasks,
+                name=spec.get("name"),
+            )
+            job_dir = self.data_root / "jobs" / job.id
+            job_dir.mkdir(parents=True, exist_ok=True)
+            (job_dir / "spec.json").write_text(
+                json.dumps(spec, indent=2) + "\n")
+            self.registry.add(job)
+        self.queue.push(job)
+        return job
+
+    def job_status(self, job_id: str) -> Dict[str, Any]:
+        """Full status of one job: fields, live progress, resume point."""
+        job = self.registry.get(job_id)
+        status = job.to_dict()
+        progress = self.scheduler.progress(job_id)
+        resume = self._store_resume_point(job)
+        if progress["latest"] is None and resume is not None:
+            # No live events (queued after a restart, or another worker's
+            # era) — derive the resume point from the durable store.
+            progress["latest"] = resume
+        status["progress"] = progress
+        status["resume_point"] = resume
+        return status
+
+    def _store_resume_point(self, job: Job) -> Optional[Dict[str, Any]]:
+        store_path = self.data_root / job.store
+        try:
+            summary = RunStore.load(store_path).summary()
+        except StoreError:
+            return None
+        return {
+            "done_chunks": summary["done_chunks"],
+            "total_chunks": summary["total_chunks"],
+            "done_tasks": summary["done_tasks"],
+            "total_tasks": summary["total_tasks"],
+            "complete": summary["complete"],
+        }
+
+    def results(self, job_id: str, fmt: str = "json") -> str:
+        """Serialised results of a finished job, straight from its store."""
+        job = self.registry.get(job_id)
+        if job.state is not JobState.DONE:
+            raise JobNotReady(job)
+        results = RunStore.load(self.data_root / job.store).load_results()
+        if fmt == "csv":
+            return results.to_csv()
+        return results.to_json()
+
+    def cancel(self, job_id: str) -> JobState:
+        """Cancel a job (immediate if queued, cooperative if running)."""
+        return self.scheduler.request_cancel(job_id)
+
+    def list_jobs(self, *, client: Optional[str] = None,
+                  state: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Compact job summaries, in submission order."""
+        state_filter = JobState(state) if state else None
+        return [job.summary()
+                for job in self.registry.jobs(client=client,
+                                              state=state_filter)]
+
+    def quota(self, client: str) -> Dict[str, Any]:
+        """The caller's quota accounting (returned with ``GET /jobs``)."""
+        return {
+            "client": client,
+            "active": self.registry.active_count(client),
+            "limit": self.config.max_jobs_per_client,
+        }
+
+    def health(self) -> Dict[str, Any]:
+        """The liveness payload (``GET /healthz``)."""
+        return {
+            "status": "ok",
+            "uptime": round(time.time() - self._started, 3),
+            "queued": len(self.queue),
+            "jobs": self.registry.state_counts(),
+            "data_root": str(self.data_root),
+        }

@@ -1,0 +1,60 @@
+"""Thread-safe priority queue feeding the scheduler loop.
+
+Ordering follows the time-priority-queue idiom: highest ``priority`` first,
+ties broken by submission order (FIFO).  The queue holds job *ids*, not job
+objects — the scheduler re-reads each popped job from the registry, so a
+job cancelled while waiting is simply skipped when its id surfaces (lazy
+removal; no heap surgery under the cancel path).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import List, Optional, Tuple
+
+from repro.service.jobs import Job
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Bounded-wait, closeable priority queue of job ids."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, str]] = []
+        self._condition = threading.Condition()
+        self._closed = False
+
+    def push(self, job: Job) -> None:
+        """Enqueue a job (higher priority pops first; FIFO within ties)."""
+        with self._condition:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            heapq.heappush(self._heap,
+                           (-job.priority, job.submit_index, job.id))
+            self._condition.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[str]:
+        """Dequeue the next job id, waiting up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or once the queue is closed and
+        drained — the worker loop's exit signal.
+        """
+        with self._condition:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._condition.wait(timeout=timeout):
+                    return None
+            return heapq.heappop(self._heap)[2]
+
+    def close(self) -> None:
+        """Wake every waiting worker; pops drain what remains, then None."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._heap)

@@ -1,0 +1,390 @@
+"""Job model, state machine, and durable journal of the study daemon.
+
+A submitted study spec becomes a :class:`Job`: identity, tenancy (the
+``X-Client`` header), priority, the spec itself, and the path of the job's
+:class:`~repro.study.store.RunStore` under the daemon's data root.  Every
+job mutation — submission and each state transition — is one fsynced JSON
+line in the append-only **jobs journal**, so a restarted daemon replays the
+journal, finds jobs that were ``running`` when it died, and re-queues them;
+the run store then resumes the actual work chunk-exactly.
+
+The state machine::
+
+    queued ──────► running ──────► done
+      │               │ ├────────► failed
+      │               │ └────────► cancelled
+      └► cancelled    └► queued   (daemon restart re-queue only)
+
+Transitions are validated under one registry lock, which is what makes a
+racing cancel-vs-start well defined: exactly one of ``queued → running``
+and ``queued → cancelled`` wins, and the loser observes the new state.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+
+from repro.exceptions import ReproError
+
+__all__ = ["Job", "JobState", "JobJournal", "JobRegistry", "JobError"]
+
+
+class JobError(ReproError):
+    """Raised for invalid job operations (unknown id, bad transition)."""
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle states of a service job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    def __str__(self) -> str:  # "queued", not "JobState.QUEUED"
+        return self.value
+
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset(
+    (JobState.DONE, JobState.FAILED, JobState.CANCELLED))
+
+#: Allowed state transitions (see the module docstring's diagram).
+_TRANSITIONS = {
+    JobState.QUEUED: frozenset((JobState.RUNNING, JobState.CANCELLED)),
+    JobState.RUNNING: frozenset(
+        (JobState.DONE, JobState.FAILED, JobState.CANCELLED,
+         JobState.QUEUED)),  # running → queued is the restart re-queue
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+}
+
+
+@dataclass
+class Job:
+    """One submitted study: spec, tenancy, priority, and durable state.
+
+    ``store`` is the job's run-store directory *relative to the daemon's
+    data root*; identical plans share a store (it is keyed by the plan
+    fingerprint), which is what lets a cancelled job's resubmission resume
+    from the chunks the first attempt committed.
+    """
+
+    id: str
+    spec: Dict[str, Any]
+    client: str
+    priority: int
+    state: JobState
+    created: float
+    submit_index: int
+    store: str
+    fingerprint: str
+    cells: int
+    total_tasks: int
+    name: Optional[str] = None
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    error: Optional[str] = None
+    requeues: int = field(default=0)
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the job has reached a final state."""
+        return self.state in TERMINAL_STATES
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the job still counts against its client's quota."""
+        return not self.is_terminal
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form (journal line and API payload)."""
+        return {
+            "id": self.id,
+            "spec": self.spec,
+            "client": self.client,
+            "priority": self.priority,
+            "state": self.state.value,
+            "created": self.created,
+            "submit_index": self.submit_index,
+            "store": self.store,
+            "fingerprint": self.fingerprint,
+            "cells": self.cells,
+            "total_tasks": self.total_tasks,
+            "name": self.name,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+            "requeues": self.requeues,
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """The compact listing form (``GET /jobs``): everything but the spec."""
+        row = self.to_dict()
+        del row["spec"]
+        return row
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, Any]) -> "Job":
+        """Rebuild a job from its :meth:`to_dict` form."""
+        try:
+            return cls(
+                id=str(row["id"]),
+                spec=dict(row["spec"]),
+                client=str(row["client"]),
+                priority=int(row["priority"]),
+                state=JobState(row["state"]),
+                created=float(row["created"]),
+                submit_index=int(row["submit_index"]),
+                store=str(row["store"]),
+                fingerprint=str(row["fingerprint"]),
+                cells=int(row["cells"]),
+                total_tasks=int(row["total_tasks"]),
+                name=row.get("name"),
+                started=row.get("started"),
+                finished=row.get("finished"),
+                error=row.get("error"),
+                requeues=int(row.get("requeues", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise JobError(f"not a job record: {error}") from None
+
+
+class JobJournal:
+    """Append-only, fsynced JSONL journal of job events.
+
+    Two event kinds: ``{"event": "submit", "job": {…}}`` records a new job
+    in full, ``{"event": "state", "id", "state", "ts", …}`` records one
+    transition.  Like the run store's chunk log, a line is committed only
+    once its trailing newline is on disk — a torn tail left by a kill is
+    truncated away on the next open, an unreadable *committed* line raises.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    def replay(self) -> Iterator[Dict[str, Any]]:
+        """Yield every committed event, oldest first."""
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        for raw in data.splitlines(keepends=True):
+            if not raw.endswith(b"\n"):
+                break  # torn tail: the append never completed
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line.decode("utf-8"))
+                str(event["event"])
+            except (ValueError, KeyError) as error:
+                raise JobError(
+                    f"jobs journal {self.path} holds an unreadable "
+                    f"committed entry: {error}; the journal is corrupt"
+                ) from None
+            yield event
+
+    def open(self) -> None:
+        """Open for appending, truncating any torn tail first."""
+        if self._handle is not None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():
+            data = self.path.read_bytes()
+            good = len(data)
+            if data and not data.endswith(b"\n"):
+                good = data.rfind(b"\n") + 1
+            if good < len(data):
+                with open(self.path, "rb+") as handle:
+                    handle.truncate(good)
+        self._handle = open(self.path, "ab")
+
+    def append(self, event: Mapping[str, Any]) -> None:
+        """Durably append one event (fsynced before returning)."""
+        if self._handle is None:
+            self.open()
+        line = (json.dumps(dict(event), separators=(",", ":"))
+                + "\n").encode("utf-8")
+        self._handle.write(line)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the append handle (events stay durable)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class JobRegistry:
+    """Thread-safe job table backed by the journal.
+
+    All mutation goes through :meth:`add` and :meth:`try_transition`, both
+    of which append the corresponding journal event *before* publishing
+    the in-memory change — a crash between the two replays to the same
+    state the mutation committed.
+    """
+
+    def __init__(self, journal: JobJournal) -> None:
+        self.journal = journal
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.RLock()
+        self._next_index = 0
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def load(self) -> List[Job]:
+        """Replay the journal and re-queue jobs interrupted mid-run.
+
+        Returns the jobs that should (re-)enter the scheduler queue, in
+        submission order: every job still ``queued``, plus every job found
+        ``running`` — the daemon died under it — flipped back to
+        ``queued`` (journalled, with its ``requeues`` count bumped).
+        """
+        with self._lock:
+            for event in self.journal.replay():
+                kind = event["event"]
+                if kind == "submit":
+                    job = Job.from_dict(event["job"])
+                    self._jobs[job.id] = job
+                    self._next_index = max(self._next_index,
+                                           job.submit_index + 1)
+                elif kind == "state":
+                    job = self._jobs.get(str(event["id"]))
+                    if job is None:
+                        raise JobError(
+                            f"jobs journal transitions unknown job "
+                            f"{event.get('id')!r}; the journal is corrupt"
+                        )
+                    self._apply(job, event)
+            self.journal.open()
+            pending: List[Job] = []
+            for job in sorted(self._jobs.values(),
+                              key=lambda j: j.submit_index):
+                if job.state is JobState.RUNNING:
+                    # The previous daemon died mid-job; its store holds the
+                    # chunks that completed, so re-queue for a resume.
+                    self._record_transition(job, JobState.QUEUED,
+                                            requeued=True)
+                if job.state is JobState.QUEUED:
+                    pending.append(job)
+            return pending
+
+    @staticmethod
+    def _apply(job: Job, event: Mapping[str, Any]) -> None:
+        job.state = JobState(event["state"])
+        if "started" in event:
+            job.started = event["started"]
+        if "finished" in event:
+            job.finished = event["finished"]
+        if event.get("error") is not None:
+            job.error = str(event["error"])
+        if event.get("requeued"):
+            job.requeues += 1
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, job: Job) -> None:
+        """Journal and publish a freshly submitted job."""
+        with self._lock:
+            if job.id in self._jobs:
+                raise JobError(f"duplicate job id {job.id!r}")
+            self.journal.append({"event": "submit", "job": job.to_dict()})
+            self._jobs[job.id] = job
+            self._next_index = max(self._next_index, job.submit_index + 1)
+
+    def next_index(self) -> int:
+        """Reserve the next submission index (also names the job)."""
+        with self._lock:
+            index = self._next_index
+            self._next_index += 1
+            return index
+
+    def try_transition(self, job_id: str, state: JobState, *,
+                       error: Optional[str] = None,
+                       requeued: bool = False) -> bool:
+        """Atomically move a job to ``state`` if the move is legal.
+
+        Returns ``False`` (without journalling) when the job is not in a
+        state that allows the transition — the caller lost a race (e.g.
+        cancel beat start) and should re-read the job.  Raises for an
+        unknown job id.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobError(f"unknown job {job_id!r}")
+            if state not in _TRANSITIONS[job.state]:
+                return False
+            self._record_transition(job, state, error=error,
+                                    requeued=requeued)
+            return True
+
+    def _record_transition(self, job: Job, state: JobState, *,
+                           error: Optional[str] = None,
+                           requeued: bool = False) -> None:
+        event: Dict[str, Any] = {
+            "event": "state",
+            "id": job.id,
+            "state": state.value,
+            "ts": time.time(),
+        }
+        if state is JobState.RUNNING:
+            event["started"] = event["ts"]
+        if state in TERMINAL_STATES:
+            event["finished"] = event["ts"]
+        if error is not None:
+            event["error"] = error
+        if requeued:
+            event["requeued"] = True
+        self.journal.append(event)
+        self._apply(job, event)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        """The job with ``job_id`` (raises :class:`JobError` if unknown)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobError(f"unknown job {job_id!r}")
+            return job
+
+    def jobs(self, *, client: Optional[str] = None,
+             state: Optional[JobState] = None) -> List[Job]:
+        """All jobs (optionally filtered), in submission order."""
+        with self._lock:
+            selected = [
+                job for job in self._jobs.values()
+                if (client is None or job.client == client)
+                and (state is None or job.state is state)
+            ]
+        return sorted(selected, key=lambda j: j.submit_index)
+
+    def active_count(self, client: str) -> int:
+        """Queued + running jobs of one client (the quota measure)."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values()
+                       if job.client == client and job.is_active)
+
+    def state_counts(self) -> Dict[str, int]:
+        """Number of jobs per state (the health endpoint's payload)."""
+        counts = {state.value: 0 for state in JobState}
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state.value] += 1
+        return counts

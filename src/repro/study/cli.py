@@ -35,6 +35,25 @@ Subcommands
         python -m repro cache stats --cache-dir ~/.cache/repro
         python -m repro cache clear --cache-dir ~/.cache/repro
 
+``serve``
+    Run the long-lived study service: an HTTP job queue over a durable
+    data root (see :mod:`repro.service` and ``docs/service.md``)::
+
+        python -m repro serve --data-root /var/lib/repro --port 8765
+
+``submit`` / ``jobs`` / ``job`` / ``cancel`` / ``fetch``
+    The client side of the service — submit a spec file as a job, list
+    jobs (with per-client quota accounting), inspect one job's state and
+    progress, cancel it cooperatively, and fetch finished results::
+
+        python -m repro submit --spec study.json --wait
+        python -m repro jobs
+        python -m repro job job-000001
+        python -m repro fetch job-000001 --format csv --out results.csv
+
+    The service URL defaults to ``$REPRO_SERVICE_URL`` (else the local
+    daemon's default port); the tenant name to ``$REPRO_CLIENT``.
+
 ``list-benchmarks`` / ``list-designs`` / ``list-partitioners`` / ``list-topologies``
     Show the registered benchmark suite, the paper's designs, the pluggable
     partitioning strategies, and the interconnect topologies.
@@ -51,6 +70,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Any, List, Optional, Sequence, TextIO
 
@@ -64,7 +84,7 @@ from repro.engine.cache import (
     default_cache,
     resolve_cache_dir,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, SpecValidationError
 from repro.hardware.topology import TOPOLOGIES, list_topologies
 from repro.partitioning.registry import PARTITIONERS, list_partitioners
 from repro.runtime.designs import DESIGNS, list_designs
@@ -183,6 +203,18 @@ def _add_study_options(parser: argparse.ArgumentParser) -> None:
                         help="suppress the summary table and progress line")
 
 
+def _add_client_options(parser: argparse.ArgumentParser) -> None:
+    from repro.service.client import CLIENT_ENV_VAR, SERVICE_URL_ENV_VAR
+
+    parser.add_argument("--url", default=None, metavar="URL",
+                        help=f"service base URL (default: "
+                             f"${SERVICE_URL_ENV_VAR} or the local daemon's "
+                             f"default port)")
+    parser.add_argument("--client", default=None, metavar="NAME",
+                        help=f"tenant name sent as X-Client (default: "
+                             f"${CLIENT_ENV_VAR} or 'anonymous')")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -220,6 +252,77 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run store directory to inspect")
     status.add_argument("--json", action="store_true",
                         help="print the summary as JSON instead of a table")
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived study service daemon")
+    serve.add_argument("--data-root", required=True, metavar="DIR",
+                       help="service state directory: jobs journal, one run "
+                            "store per plan, and the shared compile cache")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None, metavar="N",
+                       help="bind port (default 8765; 0 picks a free port)")
+    serve.add_argument("--concurrency", type=int, default=1, metavar="N",
+                       help="jobs run at once (default 1; studies already "
+                            "parallelise inside a job via --backend)")
+    serve.add_argument("--max-jobs-per-client", type=int, default=16,
+                       metavar="N",
+                       help="active (queued+running) jobs allowed per "
+                            "X-Client tenant (default 16)")
+    serve.add_argument("--backend", default=None, metavar="NAME",
+                       help=f"execution backend for every job "
+                            f"({', '.join(list_backends())}; default: "
+                            f"$REPRO_BACKEND or serial)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shared persistent compile cache (default: "
+                            "<data-root>/cache)")
+    serve.add_argument("--store-chunk-size", type=int, default=None,
+                       metavar="N",
+                       help="seeds per store chunk for fresh job stores "
+                            "(default 32)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a study spec to the service as a job")
+    _add_client_options(submit)
+    submit.add_argument("--spec", required=True, metavar="FILE",
+                        help="JSON study spec file to submit")
+    submit.add_argument("--priority", type=int, default=0, metavar="N",
+                        help="queue priority (higher runs first; default 0)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job reaches a terminal state")
+    submit.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="give up waiting after S seconds (with --wait)")
+    submit.add_argument("--json", action="store_true",
+                        help="print the job as JSON instead of one line")
+
+    jobs = sub.add_parser("jobs", help="list the service's jobs")
+    _add_client_options(jobs)
+    jobs.add_argument("--state", default=None, metavar="STATE",
+                      help="filter by state (queued, running, done, failed, "
+                           "cancelled)")
+    jobs.add_argument("--json", action="store_true",
+                      help="print the listing as JSON instead of a table")
+
+    job = sub.add_parser("job", help="show one job's state and progress")
+    _add_client_options(job)
+    job.add_argument("id", help="job id (e.g. job-000001)")
+    job.add_argument("--json", action="store_true",
+                     help="print the full status as JSON")
+
+    cancel = sub.add_parser(
+        "cancel", help="cancel a job (cooperative; the store stays "
+                       "resumable)")
+    _add_client_options(cancel)
+    cancel.add_argument("id", help="job id to cancel")
+
+    fetch = sub.add_parser(
+        "fetch", help="download a finished job's results from the service")
+    _add_client_options(fetch)
+    fetch.add_argument("id", help="job id to fetch")
+    fetch.add_argument("--format", choices=("json", "csv"), default="json",
+                       help="result serialisation (default json)")
+    fetch.add_argument("--out", "-o", default=None, metavar="PATH",
+                       help="write to PATH instead of stdout")
 
     sub.add_parser("list-benchmarks", help="show the registered benchmarks")
     sub.add_parser("list-designs", help="show the paper's designs")
@@ -416,6 +519,124 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service.daemon import DEFAULT_PORT, ServiceConfig, StudyDaemon
+
+    config = ServiceConfig(
+        data_root=args.data_root,
+        host=args.host,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        concurrency=args.concurrency,
+        max_jobs_per_client=args.max_jobs_per_client,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        store_chunk_size=args.store_chunk_size,
+    )
+    daemon = StudyDaemon(config)
+    daemon.start()
+    # `kill <pid>` should wind down like Ctrl-C: running jobs re-queue and
+    # resume on the next start (kill -9 skips this and still recovers).
+    def _sigterm(_signo, _frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    print(f"repro service listening on {daemon.address} "
+          f"(data root: {args.data_root})", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.stop()
+        print("repro service stopped; interrupted jobs re-queue on the "
+              "next serve", file=sys.stderr)
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.url, client=args.client)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    spec = json.loads(Path(args.spec).read_text())
+    client = _service_client(args)
+    job = client.submit(spec, priority=args.priority)
+    if args.json and not args.wait:
+        print(json.dumps(job, indent=2))
+    else:
+        print(f"submitted {job['id']} (state {job['state']}, "
+              f"{job['total_tasks']} runs, priority {job['priority']})")
+    if not args.wait:
+        return 0
+    status = client.wait(job["id"], timeout=args.timeout)
+    if args.json:
+        print(json.dumps(status, indent=2))
+    else:
+        line = f"{status['id']}: {status['state']}"
+        if status.get("error"):
+            line += f" — {status['error']}"
+        print(line)
+    return 0 if status["state"] == "done" else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    listing = _service_client(args).jobs(state=args.state)
+    if args.json:
+        print(json.dumps(listing, indent=2))
+        return 0
+    rows = [[job["id"], job["state"], job["client"], job["priority"],
+             job["total_tasks"], job["requeues"], job.get("name") or ""]
+            for job in listing["jobs"]]
+    if rows:
+        print(format_table(
+            ["id", "state", "client", "priority", "runs", "requeues",
+             "name"], rows))
+    else:
+        print("no jobs")
+    quota = listing["quota"]
+    print(f"\nclient {quota['client']}: {quota['active']}/{quota['limit']} "
+          f"active job(s)")
+    return 0
+
+
+def _cmd_job(args: argparse.Namespace) -> int:
+    status = _service_client(args).job(args.id)
+    if args.json:
+        print(json.dumps(status, indent=2))
+        return 0
+    rows = [[key, status.get(key)] for key in
+            ("id", "state", "client", "priority", "cells", "total_tasks",
+             "requeues", "store", "error") if status.get(key) is not None]
+    print(format_table(["field", "value"], rows))
+    latest = (status.get("progress") or {}).get("latest")
+    if latest:
+        print(f"\nprogress: chunks {latest['done_chunks']}"
+              f"/{latest['total_chunks']}  runs {latest['done_tasks']}"
+              f"/{latest['total_tasks']}")
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    result = _service_client(args).cancel(args.id)
+    print(f"{result['id']}: {result['state']}")
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    text = _service_client(args).results(args.id, fmt=args.format)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"written: {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     directory = resolve_cache_dir(args.cache_dir)
     if directory is None:
@@ -535,6 +756,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command in ("run", "sweep"):
             return _cmd_run(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "jobs":
+            return _cmd_jobs(args)
+        if args.command == "job":
+            return _cmd_job(args)
+        if args.command == "cancel":
+            return _cmd_cancel(args)
+        if args.command == "fetch":
+            return _cmd_fetch(args)
         if args.command == "cache":
             return _cmd_cache(args)
         if args.command == "status":
@@ -550,8 +783,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"unknown command {args.command!r}")
     except (ReproError, ValueError, OSError) as error:
         print(f"repro: error: {error}", file=sys.stderr)
+        _print_spec_diagnosis(error)
         return 2
     return 0
+
+
+def _print_spec_diagnosis(error: Exception) -> None:
+    """Surface the structured field/allowed payload of a spec error.
+
+    Both a local :class:`SpecValidationError` and the service's 400
+    response (a :class:`~repro.service.client.ServiceError` carrying the
+    same payload) name the offending spec field and, where the set is
+    known, the allowed values.
+    """
+    payload = None
+    if isinstance(error, SpecValidationError):
+        payload = error.to_dict()
+    else:
+        candidate = getattr(error, "payload", None)
+        if isinstance(candidate, dict) and candidate.get("error"):
+            payload = candidate
+    if not payload:
+        return
+    if payload.get("field"):
+        print(f"repro: spec field: {payload['field']}", file=sys.stderr)
+    if payload.get("allowed"):
+        allowed = ", ".join(str(value) for value in payload["allowed"])
+        print(f"repro: allowed: {allowed}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

@@ -139,7 +139,12 @@ class ProgressEvent:
         return self.done_chunks >= self.total_chunks
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-friendly form (the ``--json-progress`` line format)."""
+        """JSON-friendly form (the ``--json-progress`` line format and the
+        service status endpoint's wire format).
+
+        ``elapsed`` is rounded to milliseconds; everything else round-trips
+        exactly through :meth:`from_dict`.
+        """
         return {
             "event": "progress",
             "done_chunks": self.done_chunks,
@@ -152,6 +157,28 @@ class ProgressEvent:
             "runs_per_second": round(self.runs_per_second, 3),
             "complete": self.complete,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ProgressEvent":
+        """Rebuild an event from its :meth:`to_dict` wire form.
+
+        Derived fields (``runs_per_second``, ``complete``, ``event``) are
+        recomputed from the counters, not trusted from the payload.
+        """
+        try:
+            return cls(
+                done_chunks=int(payload["done_chunks"]),
+                total_chunks=int(payload["total_chunks"]),
+                done_tasks=int(payload["done_tasks"]),
+                total_tasks=int(payload["total_tasks"]),
+                resumed_chunks=int(payload["resumed_chunks"]),
+                resumed_tasks=int(payload["resumed_tasks"]),
+                elapsed=float(payload["elapsed"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"not a progress-event payload: {error}"
+            ) from None
 
 
 class RunStore:
@@ -287,13 +314,25 @@ class RunStore:
         try:
             fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
         except OSError:
+            # The holder wrote its PID into the lock file on acquire, so
+            # the error can name who to wait for (or kill).
+            try:
+                handle.seek(0)
+                holder = handle.read(64).strip() or "unknown"
+            except OSError:  # pragma: no cover - lock file unreadable
+                holder = "unknown"
             handle.close()
             raise StoreError(
-                f"store {self.path} is locked by another running study; "
-                f"two concurrent writers would corrupt the store — wait "
-                f"for the other invocation to finish (or kill it) and "
-                f"re-run to resume"
+                f"store {self.path} is locked by another running study "
+                f"(held by PID {holder}); two concurrent writers would "
+                f"corrupt the store — wait for that invocation to finish "
+                f"(or kill it) and re-run to resume; inspect progress with "
+                f"`repro status --store {self.path}`"
             ) from None
+        # Advertise ourselves as the holder for later contenders' errors.
+        handle.truncate(0)
+        handle.write(str(os.getpid()))
+        handle.flush()
         self._lock_handle = handle
 
     def release(self) -> None:

@@ -39,7 +39,13 @@ from repro.core.config import SystemConfig
 from repro.engine.backends import BackendLike, ExecutionBackend, ExecutionTask, get_backend
 from repro.engine.cache import ArtifactCache, default_cache, fingerprint
 from repro.engine.compiler import CellCompiler, CompiledCell
-from repro.exceptions import ConfigurationError, PartitionError, TopologyError
+from repro.exceptions import (
+    BenchmarkError,
+    ConfigurationError,
+    PartitionError,
+    SpecValidationError,
+    TopologyError,
+)
 from repro.hardware.parameters import GateFidelities, GateTimes
 from repro.hardware.topology import get_topology
 from repro.partitioning.registry import get_partitioner
@@ -689,55 +695,176 @@ class Study:
         Only JSON-native axis values (numbers, strings, zipped lists) are
         supported here; programmatic studies may additionally sweep
         :class:`DesignSpec` / :class:`AdaptivePolicy` objects directly.
+
+        Every validation failure raises
+        :class:`~repro.exceptions.SpecValidationError` — a
+        :class:`ConfigurationError` whose ``field`` / ``allowed`` payload
+        names the offending spec location machine-readably, so the CLI and
+        the service API surface the same structured diagnosis.
         """
         known = {"name", "benchmarks", "designs", "axes", "num_runs",
                  "base_seed", "partition_method", "partition_seed", "system"}
         unknown = set(spec) - known
         if unknown:
-            raise ConfigurationError(
+            raise SpecValidationError(
                 f"unknown study spec keys: {', '.join(sorted(unknown))}; "
-                f"known: {', '.join(sorted(known))}"
+                f"known: {', '.join(sorted(known))}",
+                field=sorted(unknown)[0], allowed=sorted(known),
+            )
+        if not isinstance(spec.get("system") or {}, Mapping):
+            raise SpecValidationError(
+                f"'system' must be a mapping of SystemConfig fields, "
+                f"got {spec['system']!r}", field="system",
             )
         system_spec = dict(spec.get("system") or {})
         gate_times = system_spec.pop("gate_times", None)
         fidelities = system_spec.pop("fidelities", None)
         unknown_fields = set(system_spec) - set(_SYSTEM_FIELDS)
         if unknown_fields:
-            raise ConfigurationError(
+            raise SpecValidationError(
                 f"unknown system fields in spec: "
-                f"{', '.join(sorted(unknown_fields))}"
+                f"{', '.join(sorted(unknown_fields))}",
+                field=f"system.{sorted(unknown_fields)[0]}",
+                allowed=sorted(_SYSTEM_FIELDS),
             )
-        system = SystemConfig(
-            **system_spec,
-            **({"gate_times": GateTimes(**gate_times)} if gate_times else {}),
-            **({"fidelities": GateFidelities(**fidelities)}
-               if fidelities else {}),
-        )
-        axes = [
-            cls._revive_axis(axis if isinstance(axis, Axis)
-                             else Axis.from_spec(axis))
-            for axis in spec.get("axes", [])
-        ]
+        try:
+            system = SystemConfig(
+                **system_spec,
+                **({"gate_times": GateTimes(**gate_times)}
+                   if gate_times else {}),
+                **({"fidelities": GateFidelities(**fidelities)}
+                   if fidelities else {}),
+            )
+        except (ConfigurationError, TypeError, ValueError) as error:
+            raise SpecValidationError(
+                f"invalid system configuration in spec: {error}",
+                field="system",
+            ) from None
+        try:
+            axes = [
+                cls._revive_axis(axis if isinstance(axis, Axis)
+                                 else Axis.from_spec(axis))
+                for axis in spec.get("axes", [])
+            ]
+        except SpecValidationError:
+            raise
+        except (ConfigurationError, TypeError) as error:
+            raise SpecValidationError(
+                f"invalid axis entry in spec: {error}", field="axes",
+            ) from None
         designs = spec.get("designs")
         if designs is not None:
             if isinstance(designs, (str, Mapping)):
                 designs = [designs]
-            designs = [cls._design_from_entry(entry) for entry in designs]
+            try:
+                designs = [cls._design_from_entry(entry)
+                           for entry in designs]
+            except SpecValidationError:
+                raise
+            except (ConfigurationError, TypeError) as error:
+                raise SpecValidationError(
+                    f"invalid design entry in spec: {error}",
+                    field="designs", allowed=list(list_designs()),
+                ) from None
+        cls._validate_registry_names(spec.get("benchmarks"), designs, axes)
         # Zipped axis values arrive from JSON as lists; Axis normalises them.
-        return cls(
-            benchmarks=spec.get("benchmarks"),
-            designs=designs,
-            axes=axes,
-            num_runs=int(spec.get("num_runs", 1)),
-            base_seed=int(spec.get("base_seed", 1)),
-            system=system,
-            partition_method=spec.get("partition_method"),
-            partition_seed=int(spec.get("partition_seed", 0)),
-            backend=backend,
-            cache=cache,
-            cache_dir=cache_dir,
-            name=spec.get("name"),
-        )
+        try:
+            return cls(
+                benchmarks=spec.get("benchmarks"),
+                designs=designs,
+                axes=axes,
+                num_runs=int(spec.get("num_runs", 1)),
+                base_seed=int(spec.get("base_seed", 1)),
+                system=system,
+                partition_method=spec.get("partition_method"),
+                partition_seed=int(spec.get("partition_seed", 0)),
+                backend=backend,
+                cache=cache,
+                cache_dir=cache_dir,
+                name=spec.get("name"),
+            )
+        except SpecValidationError:
+            raise
+        except ConfigurationError as error:
+            # Constructor-level validation (axis fields, benchmark/design
+            # arguments, registry names) — classify the failing spec field
+            # from the message's subject so API consumers can highlight it.
+            raise SpecValidationError(
+                str(error), field=cls._spec_field_of(error),
+            ) from None
+        except (TypeError, ValueError) as error:
+            raise SpecValidationError(
+                f"malformed study spec: {error}"
+            ) from None
+
+    @staticmethod
+    def _validate_registry_names(benchmarks, designs, axes) -> None:
+        """Reject unknown benchmark / design *names* at spec-load time.
+
+        Execution resolves names lazily (late registration is a feature
+        for programmatic studies), but a spec is data from outside the
+        process: a typo should be a structured diagnosis at submission,
+        not a failed job after the queue drains.
+        """
+        from repro.benchmarks.registry import get_benchmark, list_benchmarks
+        from repro.runtime.designs import get_design
+
+        def axis_strings(field: str) -> List[str]:
+            found: List[str] = []
+            for axis in axes:
+                if field not in axis.fields:
+                    continue
+                position = axis.fields.index(field)
+                for value in axis.values:
+                    item = value[position] if len(axis.fields) > 1 else value
+                    if isinstance(item, str):
+                        found.append(item)
+            return found
+
+        names = [benchmarks] if isinstance(benchmarks, str) else [
+            entry for entry in (benchmarks or []) if isinstance(entry, str)]
+        for name in names + axis_strings("benchmark"):
+            try:
+                get_benchmark(name)
+            except BenchmarkError as error:
+                raise SpecValidationError(
+                    str(error), field="benchmarks",
+                    allowed=list_benchmarks() + ["TLIM-<n>", "QAOA-r<d>-<n>",
+                                                 "QFT-<n>"],
+                ) from None
+        entries = ([designs] if isinstance(designs, (str, DesignSpec))
+                   else list(designs or []))
+        for entry in (e for e in entries if isinstance(e, str)):
+            try:
+                get_design(entry)
+            except ConfigurationError as error:
+                raise SpecValidationError(
+                    str(error), field="designs", allowed=list(list_designs()),
+                ) from None
+        for name in axis_strings("design"):
+            try:
+                get_design(name)
+            except ConfigurationError as error:
+                raise SpecValidationError(
+                    str(error), field="designs", allowed=list(list_designs()),
+                ) from None
+
+    @staticmethod
+    def _spec_field_of(error: ConfigurationError) -> Optional[str]:
+        """Best-effort spec field named by a constructor validation error."""
+        message = str(error)
+        for token, field in (
+            ("benchmark", "benchmarks"),
+            ("design", "designs"),
+            ("axis", "axes"),
+            ("seed", "axes"),
+            ("run", "num_runs"),
+            ("partition_method", "partition_method"),
+            ("topology", "system.topology"),
+        ):
+            if token in message:
+                return field
+        return None
 
     @staticmethod
     def _revive_axis(axis: Axis) -> Axis:
@@ -765,8 +892,9 @@ class Study:
                     for value in axis.values
                 ]
         except TypeError as error:
-            raise ConfigurationError(
-                f"invalid adaptive_policy axis value in spec: {error}"
+            raise SpecValidationError(
+                f"invalid adaptive_policy axis value in spec: {error}",
+                field="axes",
             ) from None
         return Axis(axis.fields, values)
 
@@ -781,12 +909,19 @@ class Study:
         fields = dict(entry)
         policy = fields.get("attempt_policy")
         if isinstance(policy, str):
-            fields["attempt_policy"] = AttemptPolicy[policy]
+            try:
+                fields["attempt_policy"] = AttemptPolicy[policy]
+            except KeyError:
+                raise SpecValidationError(
+                    f"unknown attempt_policy {policy!r} in design entry",
+                    field="designs",
+                    allowed=[p.name for p in AttemptPolicy],
+                ) from None
         try:
             return DesignSpec(**fields)
         except TypeError as error:
-            raise ConfigurationError(
-                f"invalid design entry in spec: {error}"
+            raise SpecValidationError(
+                f"invalid design entry in spec: {error}", field="designs",
             ) from None
 
     @classmethod
