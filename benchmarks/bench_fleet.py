@@ -1,0 +1,120 @@
+"""Fleet benchmark — chunk throughput and cell-shipping economy.
+
+Measures the worker-fleet backend end to end on localhost:
+
+* **chunk throughput** — chunks per second through a coordinator feeding
+  two in-process workers (socket round-trips, pickling, and lease
+  bookkeeping included), against the same sweep run serially, and
+* **shipping economy** — how many compiled-cell payloads crossed the
+  wire, pinned structurally: each cell reaches each worker **at most
+  once** no matter how many chunks it executes.
+
+CI runs this on one CPU, so the numbers are not a speedup claim — the
+assertions are structural (byte-identical results, ship-at-most-once,
+every chunk accounted for), and the throughput figure tracks protocol
+overhead over time.  Emits into ``BENCH_fleet.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from conftest import emit, repetitions
+from repro.engine.backends import SerialBackend
+from repro.engine.cache import ArtifactCache
+from repro.fleet import FleetBackend, FleetWorker
+from repro.study.study import Study
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+NUM_WORKERS = 2
+
+SYSTEM = {"data_qubits_per_node": 16, "comm_qubits_per_node": 4,
+          "buffer_qubits_per_node": 4}
+
+
+def _spec() -> dict:
+    return {"benchmarks": ["TLIM-32", "QAOA-r4-16"],
+            "designs": ["ideal", "original"],
+            "num_runs": max(repetitions() * 4, 8),
+            "system": dict(SYSTEM)}
+
+
+def test_fleet_chunk_throughput(tmp_path):
+    spec = _spec()
+    with Study.from_spec(spec, backend=SerialBackend()) as study:
+        serial_start = time.perf_counter()
+        baseline = study.run().to_json()
+        serial_s = time.perf_counter() - serial_start
+
+    backend = FleetBackend(listen="127.0.0.1:0", chunksize=1, poll=0.02)
+    backend.start()
+    workers = [FleetWorker(backend.address, name=f"bench-w{i}", quiet=True,
+                           cache=ArtifactCache())
+               for i in range(NUM_WORKERS)]
+    threads = [threading.Thread(target=worker.run, daemon=True)
+               for worker in workers]
+    for thread in threads:
+        thread.start()
+    try:
+        with Study.from_spec(spec, backend=backend) as study:
+            fleet_start = time.perf_counter()
+            fleet_json = study.run().to_json()
+            fleet_s = time.perf_counter() - fleet_start
+        stats = backend.stats()
+    finally:
+        for worker in workers:
+            worker.stop()
+        backend.close()
+        for thread in threads:
+            thread.join(timeout=10)
+
+    # Structural assertions — meaningful even on a one-CPU CI runner.
+    assert fleet_json == baseline, "fleet results diverge from serial"
+    num_cells = len(spec["benchmarks"]) * len(spec["designs"])
+    total_chunks = num_cells * spec["num_runs"]  # chunksize=1
+    assert stats["chunks_done"] == total_chunks
+    assert stats["workers_seen"] == NUM_WORKERS
+    assert stats["max_ships_per_cell_worker"] == 1, \
+        "a compiled cell was shipped twice to one worker"
+    assert stats["cells_shipped"] <= num_cells * NUM_WORKERS
+
+    chunks_per_s = total_chunks / fleet_s
+    payload = {
+        "workers": NUM_WORKERS,
+        "total_chunks": total_chunks,
+        "cells": num_cells,
+        "serial_elapsed_s": round(serial_s, 3),
+        "fleet_elapsed_s": round(fleet_s, 3),
+        "chunks_per_second": round(chunks_per_s, 1),
+        "cells_shipped": stats["cells_shipped"],
+        "chunks_stolen": stats["chunks_stolen"],
+        "duplicate_results": stats["duplicate_results"],
+        "max_ships_per_cell_worker": stats["max_ships_per_cell_worker"],
+    }
+    _merge_payload({"fleet": payload})
+    emit(
+        "fleet: chunk throughput / shipping economy",
+        "\n".join([
+            f"sweep              : {total_chunks} chunk-1 leases over "
+            f"{num_cells} cells, {NUM_WORKERS} localhost workers",
+            f"serial wall-clock  : {serial_s:.2f} s",
+            f"fleet wall-clock   : {fleet_s:.2f} s "
+            f"({chunks_per_s:.0f} chunks/s incl. socket round-trips)",
+            f"cells shipped      : {stats['cells_shipped']} "
+            f"(cap {num_cells * NUM_WORKERS}; ≤1 per worker per cell)",
+            f"stolen / duplicate : {stats['chunks_stolen']} / "
+            f"{stats['duplicate_results']}",
+        ]),
+    )
+
+
+def _merge_payload(update: dict) -> None:
+    payload = {}
+    if OUTPUT_PATH.exists():
+        payload = json.loads(OUTPUT_PATH.read_text())
+    payload.update(update)
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -80,6 +80,11 @@ from repro.runtime.execmode import (
     VECTOR,
     execution_mode,
 )
+from repro.fleet import (
+    FleetBackend,
+    FleetCoordinator,
+    FleetWorker,
+)
 from repro.service import (
     ServiceClient,
     ServiceConfig,
@@ -131,4 +136,8 @@ __all__ = [
     "StudyDaemon",
     "ServiceConfig",
     "ServiceClient",
+    # worker fleet (repro worker / docs/fleet.md)
+    "FleetBackend",
+    "FleetCoordinator",
+    "FleetWorker",
 ]

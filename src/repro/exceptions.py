@@ -91,5 +91,14 @@ class StoreError(ReproError):
     """Raised for invalid, mismatched, or corrupt durable run stores."""
 
 
+class FleetError(ReproError):
+    """Raised for fleet protocol violations and coordinator/worker failures.
+
+    Covers malformed or oversized wire frames, protocol version mismatches,
+    handshake rejections, and sweeps whose chunks exhaust their retry
+    budget across workers.
+    """
+
+
 class BenchmarkError(ReproError):
     """Raised when a benchmark circuit cannot be generated as requested."""

@@ -1,0 +1,36 @@
+"""Worker-fleet execution: multi-machine sweeps over stdlib sockets.
+
+The package splits along the roles of the system:
+
+* :mod:`repro.fleet.protocol` — length-prefixed JSON frames, versioned
+  message types, pickle payload helpers.
+* :mod:`repro.fleet.coordinator` — the lease table: chunk assignment,
+  deadline expiry, disconnect release, tail stealing, ship accounting.
+* :mod:`repro.fleet.worker` — the ``repro worker`` process: pull leases,
+  execute through the stock cores, cache cells by fingerprint.
+* :mod:`repro.fleet.backend` — :class:`FleetBackend`, the
+  :class:`~repro.engine.backends.ExecutionBackend` adapter that makes all
+  of the above look like any other backend to `Study.run` and the CLI.
+
+See ``docs/fleet.md`` for the protocol and lifecycle reference plus a
+localhost walkthrough.
+"""
+
+from repro.fleet.backend import (  # noqa: F401
+    DEFAULT_FLEET_PORT,
+    FLEET_ADDR_ENV_VAR,
+    FleetBackend,
+)
+from repro.fleet.coordinator import FleetCoordinator, FleetSweep  # noqa: F401
+from repro.fleet.protocol import PROTOCOL_VERSION  # noqa: F401
+from repro.fleet.worker import FleetWorker  # noqa: F401
+
+__all__ = [
+    "FleetBackend",
+    "FleetCoordinator",
+    "FleetSweep",
+    "FleetWorker",
+    "FLEET_ADDR_ENV_VAR",
+    "DEFAULT_FLEET_PORT",
+    "PROTOCOL_VERSION",
+]

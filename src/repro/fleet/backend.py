@@ -1,0 +1,167 @@
+"""`FleetBackend`: the distributed :class:`ExecutionBackend`.
+
+This is the thin end of the fleet: it adapts the engine's streaming
+``execute(tasks, sink)`` contract onto a :class:`FleetCoordinator`.  Tasks
+are coalesced into ``(cell, seed-chunk)`` batches exactly like the process
+pool (same :func:`chunk_tasks`, same sink-granularity hint, same
+oversubscription factor), submitted as one sweep, and reassembled
+positionally — so fleet results are identical, dataclass for dataclass,
+to :class:`~repro.engine.backends.SerialBackend` on the same task list.
+The sink observes chunks in completion order, which is what lets a
+:class:`~repro.study.store.RunStore` persist fleet progress durably; and
+because store commits are idempotent, a chunk a dying worker and its
+thief both execute commits once.
+
+The coordinator is started lazily on the first :meth:`execute` (or
+eagerly via :meth:`start`, which the service scheduler uses so workers
+can join before the first job) and survives across calls: workers stay
+connected between sweeps and keep their cell caches warm.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from queue import Empty
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.engine.backends import (
+    _CHUNKS_PER_WORKER,
+    _sink_chunk_hint,
+    ExecutionBackend,
+    ExecutionTask,
+    ResultSink,
+    chunk_tasks,
+)
+from repro.exceptions import ConfigurationError, FleetError
+from repro.fleet.coordinator import DEFAULT_LEASE_TIMEOUT, FleetCoordinator
+from repro.fleet.protocol import parse_address
+from repro.runtime.metrics import ExecutionResult
+
+__all__ = ["FleetBackend", "FLEET_ADDR_ENV_VAR", "DEFAULT_FLEET_PORT"]
+
+#: Environment variable supplying the coordinator bind address when the
+#: backend is selected by name (``REPRO_BACKEND=fleet``).
+FLEET_ADDR_ENV_VAR = "REPRO_FLEET_ADDR"
+
+#: Default coordinator port (loopback-only by default; see protocol docs).
+DEFAULT_FLEET_PORT = 8766
+
+
+class FleetBackend(ExecutionBackend):
+    """Fan seed-chunks out to socket-connected worker processes.
+
+    Parameters
+    ----------
+    listen:
+        ``host:port`` the coordinator binds; defaults to
+        ``$REPRO_FLEET_ADDR`` and then ``127.0.0.1:8766``.  Port ``0``
+        picks a free port (read it back from :attr:`address`).
+    lease_timeout:
+        Backstop seconds before a silent worker's chunk is reassigned.
+    chunksize:
+        Fixed seeds-per-chunk; by default sized like the process pool
+        (``ceil(tasks / (workers * 4))``, connected workers counting).
+    poll:
+        Idle-worker poll interval, forwarded to the coordinator.
+    """
+
+    name = "fleet"
+
+    def __init__(self, listen: Optional[str] = None, *,
+                 lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+                 chunksize: Optional[int] = None,
+                 poll: Optional[float] = None) -> None:
+        if chunksize is not None and chunksize < 1:
+            raise ConfigurationError("chunksize must be positive")
+        resolved = listen or os.environ.get(FLEET_ADDR_ENV_VAR) \
+            or f"127.0.0.1:{DEFAULT_FLEET_PORT}"
+        self._host, self._port = parse_address(resolved)
+        self.lease_timeout = float(lease_timeout)
+        self.chunksize = chunksize
+        self.poll = poll
+        self._coordinator: Optional[FleetCoordinator] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def coordinator(self) -> FleetCoordinator:
+        """The (lazily started) coordinator serving this backend's leases."""
+        if self._coordinator is None:
+            kwargs: Dict[str, Any] = {"lease_timeout": self.lease_timeout}
+            if self.poll is not None:
+                kwargs["poll"] = self.poll
+            self._coordinator = FleetCoordinator(
+                self._host, self._port, **kwargs)
+        return self._coordinator
+
+    def start(self) -> "FleetBackend":
+        """Bind the coordinator now so workers can join before a sweep."""
+        self.coordinator.start()
+        return self
+
+    @property
+    def address(self) -> str:
+        """The coordinator's ``host:port`` (actual port once started)."""
+        return self.coordinator.address
+
+    def workers_connected(self) -> int:
+        """Connected worker count (0 before the coordinator starts)."""
+        if self._coordinator is None:
+            return 0
+        return self._coordinator.worker_count()
+
+    def stats(self) -> Dict[str, Any]:
+        """Coordinator counters (ships per worker/cell, steals, expiries)."""
+        return self.coordinator.stats()
+
+    # ------------------------------------------------------------------
+    def _chunk_size(self, num_tasks: int, workers: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, math.ceil(
+            num_tasks / (max(workers, 1) * _CHUNKS_PER_WORKER)))
+
+    def execute(self, tasks: Sequence[ExecutionTask],
+                sink: Optional[ResultSink] = None) -> List[ExecutionResult]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        coordinator = self.coordinator.start()
+        chunk_size = self._chunk_size(len(tasks), coordinator.worker_count())
+        hint = _sink_chunk_hint(sink)
+        if hint is not None:
+            chunk_size = min(chunk_size, hint)
+        chunks = chunk_tasks(tasks, chunk_size)
+        starts: List[int] = []
+        offset = 0
+        for _cell, seeds in chunks:
+            starts.append(offset)
+            offset += len(seeds)
+        cells = {cell.cache_key: cell for cell, _seeds in chunks}
+        sweep = coordinator.submit(
+            [(cell.cache_key, seeds) for cell, seeds in chunks], cells)
+        collected: Dict[int, List[ExecutionResult]] = {}
+        while len(collected) < len(chunks):
+            try:
+                item = sweep.completions.get(timeout=1.0)
+            except Empty:
+                if sweep.error is not None:
+                    raise sweep.error
+                continue
+            if item is None:
+                raise sweep.error or FleetError("fleet sweep failed")
+            index, batch = item
+            if sink is not None:
+                sink(starts[index], batch)
+            collected[index] = batch
+        results: List[ExecutionResult] = []
+        for index in range(len(chunks)):
+            results.extend(collected[index])
+        return results
+
+    def close(self) -> None:
+        """Shut the coordinator down; connected workers fall back to their
+        reconnect loops and exit when their retry windows lapse."""
+        if self._coordinator is not None:
+            self._coordinator.close()
+            self._coordinator = None

@@ -1,0 +1,167 @@
+"""Wire protocol of the worker fleet: length-prefixed JSON frames.
+
+Every message on a fleet connection is one *frame*: a 4-byte big-endian
+unsigned length followed by that many bytes of UTF-8 JSON encoding a single
+object with a ``"type"`` key.  Framing over a stream socket is what keeps
+the protocol stdlib-only — no HTTP, no serialization dependency — while
+staying debuggable (``recv`` a frame, read the JSON).
+
+The conversation is strictly worker-driven request/response:
+
+==============  ===========================  ==============================
+worker sends    coordinator replies          meaning
+==============  ===========================  ==============================
+``hello``       ``welcome`` / ``error``      version handshake, worker name
+``ready``       ``lease``/``wait``/           ask for work
+                ``shutdown``
+``cell-request``  ``cell`` / ``error``       fetch a compiled cell once
+``result``      ``lease``/``wait``/           deliver a chunk, ask again
+                ``shutdown``
+``failure``     ``lease``/``wait``/           report a chunk error, ask again
+                ``shutdown``
+==============  ===========================  ==============================
+
+Version skew is rejected at the ``hello`` exchange: both sides speak
+exactly :data:`PROTOCOL_VERSION` and a mismatch earns an ``error`` frame
+and a closed connection, never a silently wrong sweep.
+
+Compiled cells and result batches travel as pickle payloads (base64 inside
+the JSON frame).  Pickle is what guarantees the tier-1 bit-identity
+contract across the wire — ``ExecutionResult`` floats round-trip exactly —
+but it also means a fleet port trusts its workers and its network:
+**bind coordinators to loopback or a private network only**.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.exceptions import ConfigurationError, FleetError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "send_message",
+    "recv_message",
+    "pack_payload",
+    "unpack_payload",
+    "parse_address",
+    "format_address",
+]
+
+#: Protocol revision; bumped on any incompatible frame or message change.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame.  A frame holds at most one pickled
+#: ``(cell)`` or one chunk's result batch; anything past this is a corrupt
+#: length prefix (e.g. a stray HTTP client), not a real payload.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct("!I")
+
+# Message type constants — the ``"type"`` field of every frame.
+HELLO = "hello"
+WELCOME = "welcome"
+ERROR = "error"
+READY = "ready"
+LEASE = "lease"
+WAIT = "wait"
+SHUTDOWN = "shutdown"
+CELL_REQUEST = "cell-request"
+CELL = "cell"
+RESULT = "result"
+FAILURE = "failure"
+
+
+def send_message(sock: socket.socket, message: Mapping[str, Any]) -> None:
+    """Encode ``message`` as one length-prefixed JSON frame and send it."""
+    data = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise FleetError(
+            f"refusing to send a {len(data)}-byte frame "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def recv_message(sock: socket.socket) -> Optional[dict]:
+    """Receive one frame; ``None`` on clean EOF before a frame starts.
+
+    Raises :class:`FleetError` for truncated frames, oversized length
+    prefixes, or payloads that are not a JSON object with a ``"type"``.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FleetError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit "
+            f"(corrupt stream or non-fleet client)"
+        )
+    data = _recv_exact(sock, length)
+    if data is None:
+        raise FleetError("connection closed mid-frame")
+    try:
+        message = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FleetError(f"undecodable frame: {error}") from error
+    if not isinstance(message, dict) or not isinstance(message.get("type"), str):
+        raise FleetError("frame is not a typed message object")
+    return message
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` if EOF arrives first byte."""
+    parts = []
+    remaining = count
+    while remaining:
+        part = sock.recv(min(remaining, 1 << 20))
+        if not part:
+            if remaining == count:
+                return None
+            raise FleetError("connection closed mid-frame")
+        parts.append(part)
+        remaining -= len(part)
+    return b"".join(parts)
+
+
+def pack_payload(obj: Any) -> str:
+    """Pickle ``obj`` and return it base64-encoded for a JSON frame."""
+    return base64.b64encode(pickle.dumps(obj, protocol=4)).decode("ascii")
+
+
+def unpack_payload(text: str) -> Any:
+    """Inverse of :func:`pack_payload`."""
+    try:
+        return pickle.loads(base64.b64decode(text.encode("ascii")))
+    except Exception as error:
+        raise FleetError(f"undecodable payload: {error}") from error
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """Parse ``"host:port"`` (or bare ``":port"`` meaning all interfaces)."""
+    host, sep, port = str(text).rpartition(":")
+    if not sep:
+        raise ConfigurationError(
+            f"fleet address {text!r} is not of the form host:port"
+        )
+    try:
+        number = int(port)
+    except ValueError:
+        raise ConfigurationError(
+            f"fleet address {text!r} has a non-numeric port"
+        ) from None
+    if not 0 <= number <= 65535:
+        raise ConfigurationError(f"fleet port {number} out of range")
+    return (host or "0.0.0.0", number)
+
+
+def format_address(address: Tuple[str, int]) -> str:
+    """Inverse of :func:`parse_address` for display."""
+    return f"{address[0]}:{address[1]}"

@@ -1,0 +1,214 @@
+"""Fleet worker: a long-running process pulling chunk leases over a socket.
+
+A worker is deliberately dumb: connect, say ``hello``, then loop —
+``ready`` → execute the lease through the ordinary
+:meth:`~repro.engine.compiler.CompiledCell.execute_batch` cores → ``result``
+(whose reply is already the next assignment).  All sweep intelligence
+(reassignment, stealing, dedup) lives in the coordinator; the worker's only
+promises are that it executes chunks with the stock deterministic cores
+(so results are bit-identical to a local run) and that it fetches each
+compiled cell at most once.
+
+Cell caching reuses the engine's artifact-cache tier under the same
+``"cell"`` namespace and fingerprint keys the compile stage uses: a worker
+given ``--cache-dir`` (or ``REPRO_CACHE_DIR``) keeps cells across restarts
+in a :class:`~repro.engine.cache.PersistentArtifactCache` — and a worker
+pointed at a machine-local cache that already compiled a cell never needs
+it shipped at all.
+
+Lifecycle: connection loss (coordinator restart, network blip) falls back
+to a reconnect loop with exponential backoff; the worker exits cleanly on
+a ``shutdown`` frame, on :meth:`FleetWorker.stop`, or when it cannot
+(re)connect within its ``retry`` window.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional, Union
+
+from repro.engine.cache import ArtifactCache, default_cache
+from repro.exceptions import FleetError
+from repro.fleet import protocol
+from repro.fleet.protocol import parse_address, recv_message, send_message
+
+__all__ = ["FleetWorker"]
+
+#: Namespace shared with the compile stage's artifact cache, so locally
+#: compiled and coordinator-shipped cells are the same cache entries.
+CELL_NAMESPACE = "cell"
+
+#: Socket timeout for handshake and assignment replies.  The coordinator
+#: answers every worker frame immediately (a handler thread per
+#: connection), so a silent half-minute means the link is gone.
+_REPLY_TIMEOUT = 30.0
+
+
+class FleetWorker:
+    """Pull-execute-report loop against one coordinator address.
+
+    Parameters
+    ----------
+    connect:
+        Coordinator ``host:port``.
+    name:
+        Worker name shown in coordinator stats; defaults to
+        ``<hostname>-<pid>`` (the coordinator uniquifies collisions).
+    cache / cache_dir:
+        Compiled-cell cache.  Pass an :class:`ArtifactCache` to share one
+        (tests do), or a directory for a persistent disk tier; the default
+        honours ``REPRO_CACHE_DIR`` like the rest of the engine.
+    retry:
+        Seconds to keep retrying a failed (re)connect before giving up.
+    quiet:
+        Suppress the per-event stderr log lines.
+    """
+
+    def __init__(self, connect: str, *, name: Optional[str] = None,
+                 cache: Optional[ArtifactCache] = None,
+                 cache_dir: Union[None, str, os.PathLike] = None,
+                 retry: float = 30.0, quiet: bool = False) -> None:
+        self.host, self.port = parse_address(connect)
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.cache = cache if cache is not None else default_cache(cache_dir)
+        self.retry = float(retry)
+        self.quiet = quiet
+        self.chunks_executed = 0
+        self.seeds_executed = 0
+        self.cells_fetched = 0
+        self._stop = threading.Event()
+        self._connected_once = False
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Ask the worker loop to exit at the next poll/retry point."""
+        self._stop.set()
+
+    def run(self) -> int:
+        """Serve until shutdown; returns a process exit code.
+
+        ``0``: clean shutdown (coordinator said so, :meth:`stop` was
+        called, or the coordinator went away after at least one successful
+        session).  ``1``: never reached a coordinator within ``retry``.
+        """
+        backoff = 0.1
+        deadline = time.monotonic() + self.retry
+        while not self._stop.is_set():
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=_REPLY_TIMEOUT)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    self._log("giving up: no coordinator at "
+                              f"{self.host}:{self.port} for {self.retry:g}s")
+                    return 0 if self._connected_once else 1
+                self._stop.wait(backoff)
+                backoff = min(backoff * 2, 2.0)
+                continue
+            backoff = 0.1
+            try:
+                finished = self._serve(sock)
+            except (OSError, FleetError) as error:
+                self._log(f"connection lost: {error}")
+                finished = False
+            finally:
+                sock.close()
+            if finished:
+                return 0
+            deadline = time.monotonic() + self.retry
+        return 0
+
+    # ------------------------------------------------------------------
+    def _serve(self, sock: socket.socket) -> bool:
+        """One connected session; ``True`` when told to shut down."""
+        sock.settimeout(_REPLY_TIMEOUT)
+        send_message(sock, {
+            "type": protocol.HELLO,
+            "version": protocol.PROTOCOL_VERSION,
+            "worker": self.name,
+            "pid": os.getpid(),
+        })
+        welcome = self._reply(sock)
+        if welcome["type"] == protocol.ERROR:
+            raise FleetError(
+                f"coordinator rejected worker: {welcome.get('reason')}")
+        if welcome["type"] != protocol.WELCOME \
+                or welcome.get("version") != protocol.PROTOCOL_VERSION:
+            raise FleetError(f"unexpected handshake reply {welcome!r}")
+        self._connected_once = True
+        self._log(f"connected to {self.host}:{self.port} "
+                  f"as {welcome.get('worker', self.name)!r}")
+        assignment = self._rpc(sock, {"type": protocol.READY})
+        while True:
+            if self._stop.is_set():
+                return True
+            kind = assignment["type"]
+            if kind == protocol.SHUTDOWN:
+                self._log("coordinator sent shutdown")
+                return True
+            if kind == protocol.WAIT:
+                if self._stop.wait(float(assignment.get("poll", 0.25))):
+                    return True
+                assignment = self._rpc(sock, {"type": protocol.READY})
+            elif kind == protocol.LEASE:
+                assignment = self._execute_lease(sock, assignment)
+            elif kind == protocol.ERROR:
+                raise FleetError(str(assignment.get("reason")))
+            else:
+                raise FleetError(f"unexpected message type {kind!r}")
+
+    def _execute_lease(self, sock: socket.socket,
+                       lease: Dict[str, Any]) -> Dict[str, Any]:
+        key = str(lease["cell"])
+        cell = self.cache.get(CELL_NAMESPACE, key)
+        if cell is None:
+            reply = self._rpc(
+                sock, {"type": protocol.CELL_REQUEST, "cell": key})
+            if reply["type"] != protocol.CELL:
+                raise FleetError(
+                    f"cell fetch failed: {reply.get('reason', reply['type'])}")
+            cell = protocol.unpack_payload(reply["payload"])
+            self.cache.put(CELL_NAMESPACE, key, cell)
+            self.cells_fetched += 1
+            self._log(f"fetched cell {key[:12]}…")
+        seeds = [int(seed) for seed in lease["seeds"]]
+        try:
+            results = cell.execute_batch(seeds)
+        except Exception as error:  # deliberate: report, don't die
+            self._log(f"chunk {lease['chunk']} failed: {error}")
+            return self._rpc(sock, {
+                "type": protocol.FAILURE,
+                "lease": lease["lease"],
+                "chunk": lease["chunk"],
+                "message": f"{type(error).__name__}: {error}",
+            })
+        self.chunks_executed += 1
+        self.seeds_executed += len(seeds)
+        return self._rpc(sock, {
+            "type": protocol.RESULT,
+            "lease": lease["lease"],
+            "chunk": lease["chunk"],
+            "cell": key,
+            "payload": protocol.pack_payload(results),
+        })
+
+    # ------------------------------------------------------------------
+    def _rpc(self, sock: socket.socket,
+             message: Dict[str, Any]) -> Dict[str, Any]:
+        send_message(sock, message)
+        return self._reply(sock)
+
+    def _reply(self, sock: socket.socket) -> Dict[str, Any]:
+        reply = recv_message(sock)
+        if reply is None:
+            raise FleetError("coordinator closed the connection")
+        return reply
+
+    def _log(self, text: str) -> None:
+        if not self.quiet:
+            print(f"fleet worker {self.name}: {text}",
+                  file=sys.stderr, flush=True)

@@ -26,6 +26,7 @@ with results byte-identical to an uninterrupted run.
 from __future__ import annotations
 
 import json
+import shutil
 import threading
 import time
 from dataclasses import dataclass
@@ -33,7 +34,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.engine.cache import default_cache
-from repro.exceptions import ReproError, StoreError
+from repro.exceptions import ConfigurationError, ReproError, StoreError
 from repro.service.jobqueue import JobQueue
 from repro.service.jobs import Job, JobJournal, JobRegistry, JobState
 from repro.service.scheduler import Scheduler
@@ -83,7 +84,14 @@ class JobNotReady(ReproError):
 
 @dataclass
 class ServiceConfig:
-    """Tunable knobs of one daemon instance."""
+    """Tunable knobs of one daemon instance.
+
+    ``fleet`` binds a worker-fleet coordinator at ``host:port`` and runs
+    every job on the fleet backend (requires ``concurrency=1`` — the
+    coordinator owns one port).  ``job_ttl`` enables the garbage
+    collector: terminal (done/failed/cancelled) jobs older than the TTL
+    are pruned — journalled, job dir deleted, orphaned stores removed.
+    """
 
     data_root: Union[str, Path]
     host: str = "127.0.0.1"
@@ -93,12 +101,22 @@ class ServiceConfig:
     backend: Optional[str] = None
     cache_dir: Union[None, str, Path] = None
     store_chunk_size: Optional[int] = None
+    fleet: Optional[str] = None
+    job_ttl: Optional[float] = None
 
 
 class StudyDaemon:
     """One service instance: submit, schedule, observe, and serve studies."""
 
     def __init__(self, config: ServiceConfig) -> None:
+        if config.fleet is not None and config.concurrency != 1:
+            raise ConfigurationError(
+                "the fleet coordinator owns one listening port; run "
+                "--fleet with --concurrency 1 (jobs parallelise across "
+                "the fleet's workers instead)"
+            )
+        if config.job_ttl is not None and config.job_ttl < 0:
+            raise ConfigurationError("job TTL cannot be negative")
         self.config = config
         self.data_root = Path(config.data_root)
         self.journal = JobJournal(self.data_root / "jobs.journal")
@@ -116,9 +134,12 @@ class StudyDaemon:
             backend=config.backend,
             concurrency=config.concurrency,
             store_chunk_size=config.store_chunk_size,
+            fleet=config.fleet,
         )
         self._server = None
         self._server_thread: Optional[threading.Thread] = None
+        self._gc_thread: Optional[threading.Thread] = None
+        self._gc_stop = threading.Event()
         self._started = time.time()
         self._submit_lock = threading.Lock()
 
@@ -142,6 +163,11 @@ class StudyDaemon:
             daemon=True,
         )
         self._server_thread.start()
+        if self.config.job_ttl is not None:
+            self._gc_stop.clear()
+            self._gc_thread = threading.Thread(
+                target=self._gc_loop, name="repro-gc", daemon=True)
+            self._gc_thread.start()
 
     @property
     def address(self) -> str:
@@ -164,6 +190,10 @@ class StudyDaemon:
         if self._server_thread is not None:
             self._server_thread.join(timeout=timeout)
             self._server_thread = None
+        self._gc_stop.set()
+        if self._gc_thread is not None:
+            self._gc_thread.join(timeout=timeout)
+            self._gc_thread = None
         self.scheduler.stop(timeout=timeout)
         self.journal.close()
 
@@ -281,11 +311,81 @@ class StudyDaemon:
         }
 
     def health(self) -> Dict[str, Any]:
-        """The liveness payload (``GET /healthz``)."""
-        return {
+        """The liveness payload (``GET /healthz``).
+
+        Besides liveness, this is the operator's one-glance view: queue
+        depth, per-state job counts (``running``/``done``/… are hoisted
+        to the top level for the ``repro jobs`` header line), and — when
+        the daemon runs a fleet — the connected worker count.
+        """
+        counts = self.registry.state_counts()
+        payload = {
             "status": "ok",
             "uptime": round(time.time() - self._started, 3),
             "queued": len(self.queue),
-            "jobs": self.registry.state_counts(),
+            "queue_depth": len(self.queue),
+            "running": counts["running"],
+            "done": counts["done"],
+            "failed": counts["failed"],
+            "jobs": counts,
             "data_root": str(self.data_root),
         }
+        if self.config.job_ttl is not None:
+            payload["job_ttl"] = self.config.job_ttl
+        workers = self.scheduler.fleet_workers()
+        if workers is not None or self.config.fleet is not None:
+            payload["fleet"] = self.config.fleet
+            payload["fleet_workers"] = workers or 0
+        return payload
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def prune(self, ttl: Optional[float] = None) -> Dict[str, Any]:
+        """Garbage-collect terminal jobs older than ``ttl`` seconds.
+
+        A prune removes three things, in a crash-safe order: the journal
+        gains a ``prune`` event (so a restart forgets the job too), the
+        job's directory under ``jobs/`` is deleted, and finally any store
+        under ``stores/`` no surviving job references is deleted —
+        *surviving* includes queued/running jobs and fresher terminal
+        jobs, so shared-fingerprint stores outlive individual prunes.
+        A pruned job's spec can simply be resubmitted; with its store
+        gone it recomputes from scratch (same bytes — the pipeline is
+        deterministic).
+        """
+        ttl = self.config.job_ttl if ttl is None else ttl
+        if ttl is None:
+            raise ConfigurationError(
+                "no TTL given (pass one, or serve with --job-ttl)")
+        cutoff = time.time() - ttl
+        pruned: List[str] = []
+        with self._submit_lock:
+            for job in self.registry.jobs():
+                finished = job.finished if job.finished is not None \
+                    else job.created
+                if job.is_terminal and finished <= cutoff:
+                    self.registry.prune(job.id)
+                    shutil.rmtree(self.data_root / "jobs" / job.id,
+                                  ignore_errors=True)
+                    pruned.append(job.id)
+            removed_stores: List[str] = []
+            if pruned:
+                live = {job.store for job in self.registry.jobs()}
+                stores_dir = self.data_root / "stores"
+                if stores_dir.is_dir():
+                    for store_dir in sorted(stores_dir.iterdir()):
+                        relative = f"stores/{store_dir.name}"
+                        if store_dir.is_dir() and relative not in live:
+                            shutil.rmtree(store_dir, ignore_errors=True)
+                            removed_stores.append(relative)
+        return {"pruned": pruned, "stores_removed": removed_stores}
+
+    def _gc_loop(self) -> None:
+        ttl = self.config.job_ttl or 0.0
+        interval = max(1.0, min(ttl / 4 if ttl else 60.0, 60.0))
+        while not self._gc_stop.wait(interval):
+            try:
+                self.prune()
+            except ReproError:  # pragma: no cover - GC must never kill serve
+                pass

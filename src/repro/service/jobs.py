@@ -162,9 +162,12 @@ class Job:
 class JobJournal:
     """Append-only, fsynced JSONL journal of job events.
 
-    Two event kinds: ``{"event": "submit", "job": {…}}`` records a new job
-    in full, ``{"event": "state", "id", "state", "ts", …}`` records one
-    transition.  Like the run store's chunk log, a line is committed only
+    Three event kinds: ``{"event": "submit", "job": {…}}`` records a new
+    job in full, ``{"event": "state", "id", "state", "ts", …}`` records one
+    transition, and ``{"event": "prune", "id", "ts"}`` records a terminal
+    job garbage-collected by the TTL sweep (replay forgets the job, but
+    ``submit_index`` numbering is preserved so resubmissions get fresh
+    ids).  Like the run store's chunk log, a line is committed only
     once its trailing newline is on disk — a torn tail left by a kill is
     truncated away on the next open, an unreadable *committed* line raises.
     """
@@ -269,6 +272,8 @@ class JobRegistry:
                             f"{event.get('id')!r}; the journal is corrupt"
                         )
                     self._apply(job, event)
+                elif kind == "prune":
+                    self._jobs.pop(str(event["id"]), None)
             self.journal.open()
             pending: List[Job] = []
             for job in sorted(self._jobs.values(),
@@ -352,6 +357,27 @@ class JobRegistry:
             event["requeued"] = True
         self.journal.append(event)
         self._apply(job, event)
+
+    def prune(self, job_id: str) -> Job:
+        """Journal and forget a *terminal* job (the TTL garbage collector).
+
+        The prune event is appended before the in-memory removal, so a
+        crash between the two replays to the pruned state.  Returns the
+        removed job so the caller can delete its on-disk artifacts.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobError(f"unknown job {job_id!r}")
+            if not job.is_terminal:
+                raise JobError(
+                    f"job {job_id} is {job.state}; only done/failed/"
+                    f"cancelled jobs can be pruned"
+                )
+            self.journal.append({"event": "prune", "id": job.id,
+                                 "ts": time.time()})
+            del self._jobs[job.id]
+            return job
 
     # ------------------------------------------------------------------
     # queries

@@ -41,6 +41,13 @@ Subcommands
 
         python -m repro serve --data-root /var/lib/repro --port 8765
 
+``worker``
+    Run a fleet worker that pulls ``(cell, seed-chunk)`` leases from a
+    coordinator started by ``--backend fleet --fleet HOST:PORT`` (on a
+    sweep or the service) and executes them locally::
+
+        python -m repro worker --connect 127.0.0.1:8766
+
 ``submit`` / ``jobs`` / ``job`` / ``cancel`` / ``fetch``
     The client side of the service — submit a spec file as a job, list
     jobs (with per-client quota accounting), inspect one job's state and
@@ -149,6 +156,11 @@ def _add_study_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default=None, metavar="NAME",
                         help=f"execution backend ({', '.join(list_backends())}; "
                              f"default: $REPRO_BACKEND or serial)")
+    parser.add_argument("--fleet", default=None, metavar="HOST:PORT",
+                        help="run on the fleet backend, binding the "
+                             "coordinator at HOST:PORT; workers connect "
+                             "with `repro worker --connect HOST:PORT` "
+                             "(implies --backend fleet)")
     parser.add_argument("--nodes", type=int, default=None,
                         help="QPU node count (default 2)")
     parser.add_argument("--data-qubits", type=int, default=None, metavar="N",
@@ -280,6 +292,33 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="seeds per store chunk for fresh job stores "
                             "(default 32)")
+    serve.add_argument("--fleet", default=None, metavar="HOST:PORT",
+                       help="run jobs on the fleet backend, binding the "
+                            "coordinator at HOST:PORT so remote "
+                            "`repro worker` processes can join "
+                            "(requires --concurrency 1)")
+    serve.add_argument("--job-ttl", default=None, metavar="DUR",
+                       help="garbage-collect done/failed/cancelled jobs "
+                            "(and their orphaned stores) older than DUR "
+                            "(e.g. 90s, 30m, 12h, 7d)")
+
+    worker = sub.add_parser(
+        "worker", help="run a fleet worker process pulling chunk leases")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address (the sweep's --fleet "
+                             "value)")
+    worker.add_argument("--name", default=None, metavar="NAME",
+                        help="worker name in coordinator stats "
+                             "(default <hostname>-<pid>)")
+    worker.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent compiled-cell cache: cells shipped "
+                             "once survive worker restarts (default: "
+                             f"${CACHE_ENV_VAR} if set, else in-memory)")
+    worker.add_argument("--retry", type=float, default=30.0, metavar="S",
+                        help="keep retrying a failed (re)connect for S "
+                             "seconds before exiting (default 30)")
+    worker.add_argument("--quiet", "-q", action="store_true",
+                        help="suppress per-event log lines")
 
     submit = sub.add_parser(
         "submit", help="submit a study spec to the service as a job")
@@ -348,8 +387,29 @@ def _system_overrides(args: argparse.Namespace) -> dict:
             if value is not None}
 
 
+def _resolve_backend_arg(args: argparse.Namespace):
+    """The ``--backend``/``--fleet`` flags as a backend argument.
+
+    ``--fleet HOST:PORT`` builds a bound :class:`FleetBackend` instance so
+    the coordinator address is explicit; plain ``--backend fleet`` defers
+    to ``$REPRO_FLEET_ADDR`` / the default port via the registry.
+    """
+    fleet = getattr(args, "fleet", None)
+    if fleet is None:
+        return args.backend
+    if args.backend not in (None, "fleet"):
+        raise ReproError(
+            f"--fleet selects the fleet backend; drop "
+            f"--backend {args.backend}"
+        )
+    from repro.fleet.backend import FleetBackend
+
+    return FleetBackend(listen=fleet)
+
+
 def _study_from_args(args: argparse.Namespace) -> Study:
     spec_path = getattr(args, "spec", None)
+    backend = _resolve_backend_arg(args)
     axes = [parse_axis(text) for text in (getattr(args, "axis", None) or [])]
     if spec_path is not None:
         # Flags layer on top of the spec for quick what-if runs: overrides
@@ -383,7 +443,7 @@ def _study_from_args(args: argparse.Namespace) -> Study:
         overrides = _system_overrides(args)
         if overrides:
             effective["system"] = {**(spec.get("system") or {}), **overrides}
-        return Study.from_spec(effective, backend=args.backend,
+        return Study.from_spec(effective, backend=backend,
                                cache_dir=args.cache_dir)
     if not args.benchmark and not any(a.fields == ("benchmark",)
                                       for a in axes):
@@ -400,7 +460,7 @@ def _study_from_args(args: argparse.Namespace) -> Study:
         system=(replace(SystemConfig(), **overrides) if overrides
                 else SystemConfig()),
         partition_seed=args.partition_seed or 0,
-        backend=args.backend,
+        backend=backend,
         cache_dir=args.cache_dir,
     )
 
@@ -519,6 +579,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def _parse_duration(text: str) -> float:
+    """Parse ``"90"``/``"90s"``/``"30m"``/``"12h"``/``"7d"`` into seconds."""
+    text = str(text).strip().lower()
+    scale = 1.0
+    if text and text[-1] in _DURATION_UNITS:
+        scale = _DURATION_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        seconds = float(text) * scale
+    except ValueError:
+        raise ReproError(
+            f"cannot parse duration {text!r}; use e.g. 90s, 30m, 12h, 7d"
+        ) from None
+    if seconds < 0:
+        raise ReproError("durations cannot be negative")
+    return seconds
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
@@ -533,6 +614,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         cache_dir=args.cache_dir,
         store_chunk_size=args.store_chunk_size,
+        fleet=args.fleet,
+        job_ttl=(_parse_duration(args.job_ttl)
+                 if args.job_ttl is not None else None),
     )
     daemon = StudyDaemon(config)
     daemon.start()
@@ -544,6 +628,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     signal.signal(signal.SIGTERM, _sigterm)
     print(f"repro service listening on {daemon.address} "
           f"(data root: {args.data_root})", flush=True)
+    if args.fleet:
+        print(f"repro service fleet coordinator on {args.fleet} — join with "
+              f"`python -m repro worker --connect {args.fleet}`", flush=True)
     try:
         while True:
             time.sleep(3600)
@@ -585,10 +672,19 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
-    listing = _service_client(args).jobs(state=args.state)
+    client = _service_client(args)
+    listing = client.jobs(state=args.state)
     if args.json:
         print(json.dumps(listing, indent=2))
         return 0
+    health = client.health()
+    header = (f"service: {health.get('queue_depth', 0)} queued, "
+              f"{health.get('running', 0)} running, "
+              f"{health.get('done', 0)} done")
+    workers = health.get("fleet_workers")
+    if workers is not None:
+        header += f", {workers} fleet worker(s) connected"
+    print(header)
     rows = [[job["id"], job["state"], job["client"], job["priority"],
              job["total_tasks"], job["requeues"], job.get("name") or ""]
             for job in listing["jobs"]]
@@ -635,6 +731,30 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
     else:
         print(text, end="")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.fleet.worker import FleetWorker
+
+    worker = FleetWorker(
+        args.connect,
+        name=args.name,
+        cache_dir=args.cache_dir,
+        retry=args.retry,
+        quiet=args.quiet,
+    )
+
+    def _sigterm(_signo, _frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        return worker.run()
+    except KeyboardInterrupt:
+        worker.stop()
+        return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -758,6 +878,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         if args.command == "submit":
             return _cmd_submit(args)
         if args.command == "jobs":

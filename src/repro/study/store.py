@@ -71,6 +71,30 @@ _LOCK = "lock"
 _SHARD_DIR = "shards"
 
 
+def _holder_alive(holder: str) -> bool:
+    """Whether the PID recorded in a lock file is a live local process.
+
+    Anything unparseable counts as alive — takeover must be the provably
+    safe path, never the default.  ``EPERM`` means the PID exists under
+    another user, i.e. alive.
+    """
+    try:
+        pid = int(holder)
+    except ValueError:
+        return True
+    if pid <= 0:
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user PIDs
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return True
+    return True
+
+
 @dataclass(frozen=True)
 class StoreChunk:
     """One durable unit of study progress: a seed range of one plan cell."""
@@ -302,38 +326,57 @@ class RunStore:
     # ------------------------------------------------------------------
     def _acquire_lock(self) -> None:
         """Take the exclusive writer lock, failing fast if another process
-        (or another handle in this one) is mid-study on the same store."""
+        (or another handle in this one) is mid-study on the same store.
+
+        A contended lock whose recorded holder PID is *dead* is stale —
+        ``flock`` normally dies with its process, so a held lock under a
+        dead PID means the flock survives on an inherited file descriptor
+        (e.g. a forked pool worker that outlived the driver) or an odd
+        filesystem.  The takeover breaks it by unlinking the lock file and
+        locking a fresh inode: the stale flock keeps guarding the orphaned
+        inode, nobody else can reach it, and the store proceeds.  (Two
+        simultaneous takeovers of the same dead holder have the classic
+        tiny pidfile race; chunk commits being idempotent bounds the harm.)
+        """
         if self._lock_handle is not None:
             return
-        handle = open(self.path / _LOCK, "a+")
-        try:
-            import fcntl
-        except ImportError:  # pragma: no cover - non-POSIX platforms
+        for takeover in (False, True):
+            handle = open(self.path / _LOCK, "a+")
+            try:
+                import fcntl
+            except ImportError:  # pragma: no cover - non-POSIX platforms
+                self._lock_handle = handle
+                return
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                # The holder wrote its PID into the lock file on acquire, so
+                # the error can name who to wait for (or kill).
+                try:
+                    handle.seek(0)
+                    holder = handle.read(64).strip() or "unknown"
+                except OSError:  # pragma: no cover - lock file unreadable
+                    holder = "unknown"
+                handle.close()
+                if not takeover and not _holder_alive(holder):
+                    try:
+                        os.unlink(self.path / _LOCK)
+                    except OSError:  # pragma: no cover - raced takeover
+                        pass
+                    continue
+                raise StoreError(
+                    f"store {self.path} is locked by another running study "
+                    f"(held by PID {holder}); two concurrent writers would "
+                    f"corrupt the store — wait for that invocation to finish "
+                    f"(or kill it) and re-run to resume; inspect progress "
+                    f"with `repro status --store {self.path}`"
+                ) from None
+            # Advertise ourselves as the holder for later contenders.
+            handle.truncate(0)
+            handle.write(str(os.getpid()))
+            handle.flush()
             self._lock_handle = handle
             return
-        try:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
-        except OSError:
-            # The holder wrote its PID into the lock file on acquire, so
-            # the error can name who to wait for (or kill).
-            try:
-                handle.seek(0)
-                holder = handle.read(64).strip() or "unknown"
-            except OSError:  # pragma: no cover - lock file unreadable
-                holder = "unknown"
-            handle.close()
-            raise StoreError(
-                f"store {self.path} is locked by another running study "
-                f"(held by PID {holder}); two concurrent writers would "
-                f"corrupt the store — wait for that invocation to finish "
-                f"(or kill it) and re-run to resume; inspect progress with "
-                f"`repro status --store {self.path}`"
-            ) from None
-        # Advertise ourselves as the holder for later contenders' errors.
-        handle.truncate(0)
-        handle.write(str(os.getpid()))
-        handle.flush()
-        self._lock_handle = handle
 
     def release(self) -> None:
         """Release the writer lock (held from :meth:`begin`; reads never

@@ -508,3 +508,193 @@ class TestGracefulRestart:
             assert client.results(job["id"]) == foreground_json(spec)
         finally:
             second.stop(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# satellite: /healthz as the operator's one-glance view
+# ----------------------------------------------------------------------
+class TestHealthzOperatorView:
+    def test_health_reports_queue_and_state_counts(self, client):
+        health = client.health()
+        assert health["queue_depth"] == 0
+        assert health["running"] == 0
+        assert health["done"] == 0
+        assert "fleet_workers" not in health  # no fleet configured
+        job = client.submit(small_spec())
+        client.wait(job["id"], timeout=60)
+        health = client.health()
+        assert health["done"] == 1
+        assert health["jobs"]["done"] == 1
+
+    def test_queued_jobs_show_in_queue_depth(self, idle_client):
+        idle_client.submit(small_spec())
+        idle_client.submit(small_spec(num_runs=2))
+        health = idle_client.health()
+        assert health["queue_depth"] == 2
+        assert health["jobs"]["queued"] == 2
+
+    def test_jobs_cli_header_line(self, client, capsys):
+        from repro.study.cli import main as cli_main
+
+        job = client.submit(small_spec())
+        client.wait(job["id"], timeout=60)
+        assert cli_main(["jobs", "--url", client.url]) == 0
+        out = capsys.readouterr().out
+        assert "service: 0 queued, 0 running, 1 done" in out.splitlines()[0]
+
+
+# ----------------------------------------------------------------------
+# tentpole glue: the daemon running every job on a worker fleet
+# ----------------------------------------------------------------------
+class TestFleetService:
+    def test_fleet_requires_single_scheduler_worker(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="concurrency 1"):
+            StudyDaemon(ServiceConfig(data_root=tmp_path / "svc", port=0,
+                                      fleet="127.0.0.1:0", concurrency=2))
+
+    def test_fleet_daemon_serves_jobs_and_counts_workers(self, tmp_path):
+        from repro.engine.cache import ArtifactCache
+        from repro.fleet import FleetWorker
+
+        daemon = StudyDaemon(ServiceConfig(
+            data_root=tmp_path / "svc", port=0, store_chunk_size=1,
+            fleet="127.0.0.1:0"))
+        daemon.start()
+        worker = None
+        worker_thread = None
+        try:
+            client = ServiceClient(daemon.address, client="tester")
+            # The scheduler binds the coordinator eagerly, before any job.
+            backend = poll_until(
+                lambda: next(iter(daemon.scheduler._backends), None))
+            assert client.health()["fleet_workers"] == 0
+            worker = FleetWorker(backend.address, name="svc-w0", quiet=True,
+                                 cache=ArtifactCache())
+            worker_thread = threading.Thread(target=worker.run, daemon=True)
+            worker_thread.start()
+            poll_until(
+                lambda: client.health()["fleet_workers"] == 1, timeout=30)
+            spec = small_spec()
+            job = client.submit(spec)
+            status = client.wait(job["id"], timeout=120)
+            assert status["state"] == "done"
+            assert client.results(job["id"]) == foreground_json(spec)
+        finally:
+            if worker is not None:
+                worker.stop()
+            daemon.stop(timeout=10)
+            if worker_thread is not None:
+                worker_thread.join(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# satellite: job TTL and store garbage collection
+# ----------------------------------------------------------------------
+class TestJobTTLPrune:
+    def test_prune_without_ttl_rejected(self, daemon):
+        with pytest.raises(ConfigurationError, match="TTL"):
+            daemon.prune()
+
+    def test_prune_spares_active_jobs(self, idle_daemon):
+        ServiceClient(idle_daemon.address, client="tester").submit(
+            small_spec())
+        report = idle_daemon.prune(ttl=0)
+        assert report == {"pruned": [], "stores_removed": []}
+
+    def test_prune_removes_job_dir_store_and_journal_entry(self, daemon):
+        client = ServiceClient(daemon.address, client="tester")
+        job = client.submit(small_spec())
+        done = client.wait(job["id"], timeout=60)
+        store_dir = daemon.data_root / done["store"]
+        job_dir = daemon.data_root / "jobs" / job["id"]
+        assert store_dir.is_dir() and job_dir.is_dir()
+
+        report = daemon.prune(ttl=0)
+        assert report["pruned"] == [job["id"]]
+        assert report["stores_removed"] == [done["store"]]
+        assert not job_dir.exists()
+        assert not store_dir.exists()
+        with pytest.raises(ServiceError):
+            client.job(job["id"])
+        events = [json.loads(line)["event"]
+                  for line in (daemon.data_root / "jobs.journal")
+                  .read_text().splitlines()]
+        assert "prune" in events
+
+    def test_prune_survives_restart(self, tmp_path):
+        data_root = tmp_path / "svc"
+        daemon = StudyDaemon(ServiceConfig(data_root=data_root, port=0,
+                                           store_chunk_size=1))
+        daemon.start()
+        try:
+            client = ServiceClient(daemon.address, client="tester")
+            job = client.submit(small_spec())
+            client.wait(job["id"], timeout=60)
+            daemon.prune(ttl=0)
+        finally:
+            daemon.stop(timeout=5)
+        # The journal replay must forget the pruned job too.
+        reborn = StudyDaemon(ServiceConfig(data_root=data_root, port=0,
+                                           store_chunk_size=1))
+        reborn.start()
+        try:
+            listing = ServiceClient(reborn.address, client="tester").jobs()
+            assert listing["jobs"] == []
+        finally:
+            reborn.stop(timeout=5)
+
+    def test_pruned_spec_resubmits_fresh_and_recomputes(self, daemon):
+        client = ServiceClient(daemon.address, client="tester")
+        spec = small_spec()
+        first = client.submit(spec)
+        client.wait(first["id"], timeout=60)
+        baseline = client.results(first["id"])
+        daemon.prune(ttl=0)
+
+        again = client.submit(spec)
+        # Job ids are never recycled: the submit-index replay includes
+        # pruned submissions.
+        assert again["id"] != first["id"]
+        status = client.wait(again["id"], timeout=60)
+        assert status["state"] == "done"
+        # The store was recomputed from scratch, not resumed.
+        assert status["progress"]["latest"]["resumed_chunks"] == 0
+        assert client.results(again["id"]) == baseline
+
+    def test_shared_store_outlives_partial_prune(self, daemon):
+        client = ServiceClient(daemon.address, client="tester")
+        spec = small_spec()
+        first = client.submit(spec)
+        client.wait(first["id"], timeout=60)
+        second = client.submit(spec)  # same fingerprint, same store
+        done = client.wait(second["id"], timeout=60)
+        store_dir = daemon.data_root / done["store"]
+        # Age only the first job into the TTL window.
+        daemon.registry.get(first["id"]).finished = time.time() - 3600
+        report = daemon.prune(ttl=60)
+        assert report["pruned"] == [first["id"]]
+        assert report["stores_removed"] == []
+        assert store_dir.is_dir()  # the younger job still references it
+
+    def test_negative_ttl_config_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="negative"):
+            StudyDaemon(ServiceConfig(data_root=tmp_path / "svc", port=0,
+                                      job_ttl=-1))
+
+    def test_gc_loop_runs_from_serve(self, tmp_path):
+        daemon = StudyDaemon(ServiceConfig(
+            data_root=tmp_path / "svc", port=0, store_chunk_size=1,
+            job_ttl=0.0))
+        daemon.start()
+        try:
+            assert daemon.health()["job_ttl"] == 0.0
+            client = ServiceClient(daemon.address, client="tester")
+            job = client.submit(small_spec())
+            client.wait(job["id"], timeout=60)
+            # The background loop wakes at >=1s intervals; don't wait for
+            # it — call the same entry point it calls.
+            daemon.prune()
+            assert (ServiceClient(daemon.address, client="tester")
+                    .jobs()["jobs"] == [])
+        finally:
+            daemon.stop(timeout=5)

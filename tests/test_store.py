@@ -129,6 +129,85 @@ class TestStoreLifecycle:
 
 
 # ----------------------------------------------------------------------
+class TestStaleLockTakeover:
+    """A held flock whose recorded holder PID is dead is broken, not obeyed.
+
+    The scenario is a flock surviving on an inherited file descriptor (a
+    forked pool worker outliving the driver): the lock is genuinely held
+    at the fcntl level, but the advertised holder is gone.
+    """
+
+    @staticmethod
+    def _hold_lock(store: Path, holder_pid: int):
+        """Flock the store's lock file on a private fd and write a PID."""
+        import fcntl
+
+        handle = open(store / "lock", "a+")
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        handle.truncate(0)
+        handle.write(str(holder_pid))
+        handle.flush()
+        return handle  # keep open: closing would drop the flock
+
+    @staticmethod
+    def _dead_pid() -> int:
+        import subprocess
+        import sys
+
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        return proc.pid
+
+    def test_live_holder_still_rejected(self, tmp_path):
+        import os
+
+        store = tmp_path / "st"
+        with small_study() as study:
+            study.run(store=store, store_chunk_size=2, max_chunks=1)
+        handle = self._hold_lock(store, os.getpid())
+        try:
+            with small_study() as study:
+                with pytest.raises(StoreError,
+                                   match=f"PID {os.getpid()}"):
+                    study.run(store=store)
+        finally:
+            handle.close()
+
+    def test_dead_holder_is_taken_over(self, tmp_path, baseline_json):
+        import os
+
+        store = tmp_path / "st"
+        with small_study() as study:
+            study.run(store=store, store_chunk_size=2, max_chunks=1)
+        handle = self._hold_lock(store, self._dead_pid())
+        try:
+            # The flock is *held* (on the old inode) but its holder is
+            # dead: the resume breaks the lock and finishes the study.
+            with small_study() as study:
+                results = study.run(store=store, store_chunk_size=2)
+            assert results.to_json() == baseline_json
+            # The fresh lock file now advertises the new writer.
+            assert (store / "lock").read_text().strip() == str(os.getpid())
+        finally:
+            handle.close()
+
+    def test_unparseable_holder_counts_as_alive(self, tmp_path):
+        store = tmp_path / "st"
+        with small_study() as study:
+            study.run(store=store, store_chunk_size=2, max_chunks=1)
+        handle = self._hold_lock(store, 0)  # then scribble garbage
+        handle.truncate(0)
+        handle.write("not-a-pid")
+        handle.flush()
+        try:
+            with small_study() as study:
+                with pytest.raises(StoreError, match="locked"):
+                    study.run(store=store)
+        finally:
+            handle.close()
+
+
+# ----------------------------------------------------------------------
 class TestResumeBitIdentity:
     def test_store_run_matches_in_memory(self, tmp_path, baseline_json):
         with small_study() as study:
