@@ -90,6 +90,15 @@ from repro.service import (
     ServiceConfig,
     StudyDaemon,
 )
+from repro.faults import (
+    FAULTS_ENV_VAR,
+    SITES,
+    InjectedFault,
+    failpoint,
+    fault_stats,
+    install_faults,
+    uninstall_faults,
+)
 
 __all__ = [
     # partitioners
@@ -140,4 +149,12 @@ __all__ = [
     "FleetBackend",
     "FleetCoordinator",
     "FleetWorker",
+    # deterministic fault injection (REPRO_FAULTS / docs/robustness.md)
+    "FAULTS_ENV_VAR",
+    "SITES",
+    "InjectedFault",
+    "failpoint",
+    "fault_stats",
+    "install_faults",
+    "uninstall_faults",
 ]

@@ -91,6 +91,36 @@ class StoreError(ReproError):
     """Raised for invalid, mismatched, or corrupt durable run stores."""
 
 
+class StoreWriteError(StoreError):
+    """A durable write (shard append, fsync, chunk-log commit) failed.
+
+    Raised by :meth:`~repro.study.store.RunStore.append_chunk` when the
+    filesystem rejects a write (``ENOSPC``, I/O error, injected fault).
+    The store degrades gracefully: every chunk committed *before* the
+    failing one remains durable, and the exception carries the resume
+    point so callers (and operators) know exactly where a retry picks up.
+
+    Attributes
+    ----------
+    errno:
+        The OS error number of the underlying failure (``None`` when the
+        cause carried none).
+    committed_chunks:
+        Chunks already committed to the chunk log — all of them survive
+        reopen and are skipped on resume.
+    committed_runs:
+        Total runs covered by the committed chunks (the resume point).
+    """
+
+    def __init__(self, message: str, *, errno: "int | None" = None,
+                 committed_chunks: int = 0,
+                 committed_runs: int = 0) -> None:
+        super().__init__(message)
+        self.errno = errno
+        self.committed_chunks = committed_chunks
+        self.committed_runs = committed_runs
+
+
 class FleetError(ReproError):
     """Raised for fleet protocol violations and coordinator/worker failures.
 
@@ -98,6 +128,21 @@ class FleetError(ReproError):
     handshake rejections, and sweeps whose chunks exhaust their retry
     budget across workers.
     """
+
+
+class FleetProtocolError(FleetError):
+    """A *fatal* fleet error: retrying the connection cannot succeed.
+
+    Raised for protocol version mismatches and handshake rejections —
+    conditions where the two endpoints disagree about the wire format or
+    the coordinator has permanently refused the worker.  The worker
+    reconnect loop treats these as fatal (exit) while plain
+    :class:`OSError`/:class:`FleetError` disconnects stay retryable.
+    """
+
+
+class FaultError(ConfigurationError):
+    """Raised for malformed ``REPRO_FAULTS`` fault-injection specs."""
 
 
 class BenchmarkError(ReproError):

@@ -47,6 +47,11 @@ FLEET_ADDR_ENV_VAR = "REPRO_FLEET_ADDR"
 #: Default coordinator port (loopback-only by default; see protocol docs).
 DEFAULT_FLEET_PORT = 8766
 
+#: Environment override for the coordinator's connection idle timeout
+#: (seconds); the chaos soak shortens it so silent-worker recovery is
+#: observable in seconds rather than half a minute.
+HEARTBEAT_TIMEOUT_ENV_VAR = "REPRO_FLEET_HEARTBEAT_TIMEOUT"
+
 
 class FleetBackend(ExecutionBackend):
     """Fan seed-chunks out to socket-connected worker processes.
@@ -64,6 +69,12 @@ class FleetBackend(ExecutionBackend):
         (``ceil(tasks / (workers * 4))``, connected workers counting).
     poll:
         Idle-worker poll interval, forwarded to the coordinator.
+    heartbeat_timeout:
+        Connection idle timeout, forwarded to the coordinator; defaults
+        to ``$REPRO_FLEET_HEARTBEAT_TIMEOUT`` and then the coordinator's
+        own default.
+    quarantine_after / quarantine_period:
+        Per-worker circuit-breaker settings, forwarded to the coordinator.
     """
 
     name = "fleet"
@@ -71,7 +82,10 @@ class FleetBackend(ExecutionBackend):
     def __init__(self, listen: Optional[str] = None, *,
                  lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
                  chunksize: Optional[int] = None,
-                 poll: Optional[float] = None) -> None:
+                 poll: Optional[float] = None,
+                 heartbeat_timeout: Optional[float] = None,
+                 quarantine_after: Optional[int] = None,
+                 quarantine_period: Optional[float] = None) -> None:
         if chunksize is not None and chunksize < 1:
             raise ConfigurationError("chunksize must be positive")
         resolved = listen or os.environ.get(FLEET_ADDR_ENV_VAR) \
@@ -80,6 +94,12 @@ class FleetBackend(ExecutionBackend):
         self.lease_timeout = float(lease_timeout)
         self.chunksize = chunksize
         self.poll = poll
+        if heartbeat_timeout is None:
+            env = os.environ.get(HEARTBEAT_TIMEOUT_ENV_VAR)
+            heartbeat_timeout = float(env) if env else None
+        self.heartbeat_timeout = heartbeat_timeout
+        self.quarantine_after = quarantine_after
+        self.quarantine_period = quarantine_period
         self._coordinator: Optional[FleetCoordinator] = None
 
     # ------------------------------------------------------------------
@@ -90,6 +110,12 @@ class FleetBackend(ExecutionBackend):
             kwargs: Dict[str, Any] = {"lease_timeout": self.lease_timeout}
             if self.poll is not None:
                 kwargs["poll"] = self.poll
+            if self.heartbeat_timeout is not None:
+                kwargs["heartbeat_timeout"] = self.heartbeat_timeout
+            if self.quarantine_after is not None:
+                kwargs["quarantine_after"] = self.quarantine_after
+            if self.quarantine_period is not None:
+                kwargs["quarantine_period"] = self.quarantine_period
             self._coordinator = FleetCoordinator(
                 self._host, self._port, **kwargs)
         return self._coordinator
@@ -141,19 +167,26 @@ class FleetBackend(ExecutionBackend):
         sweep = coordinator.submit(
             [(cell.cache_key, seeds) for cell, seeds in chunks], cells)
         collected: Dict[int, List[ExecutionResult]] = {}
-        while len(collected) < len(chunks):
-            try:
-                item = sweep.completions.get(timeout=1.0)
-            except Empty:
-                if sweep.error is not None:
-                    raise sweep.error
-                continue
-            if item is None:
-                raise sweep.error or FleetError("fleet sweep failed")
-            index, batch = item
-            if sink is not None:
-                sink(starts[index], batch)
-            collected[index] = batch
+        try:
+            while len(collected) < len(chunks):
+                try:
+                    item = sweep.completions.get(timeout=1.0)
+                except Empty:
+                    if sweep.error is not None:
+                        raise sweep.error
+                    continue
+                if item is None:
+                    raise sweep.error or FleetError("fleet sweep failed")
+                index, batch = item
+                if sink is not None:
+                    sink(starts[index], batch)
+                collected[index] = batch
+        except BaseException:
+            # The consuming side failed mid-sweep (a sink store error, an
+            # interrupt): abandon the sweep so the coordinator can accept
+            # the retry instead of reporting "already in flight" forever.
+            coordinator.abort_sweep(sweep)
+            raise
         results: List[ExecutionResult] = []
         for index in range(len(chunks)):
             results.extend(collected[index])

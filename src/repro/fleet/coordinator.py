@@ -26,6 +26,22 @@ asks with ``cell-request`` exactly once and caches the cell, so a sweep
 ships each cell to each worker at most once — :meth:`FleetCoordinator.stats`
 tracks per-``(worker, cell)`` ship counts so tests can pin that invariant.
 
+Two circuit breakers guard the lease table against pathological workers:
+
+* **heartbeat idle-timeout** — every accepted connection carries a read
+  timeout (:data:`DEFAULT_HEARTBEAT_TIMEOUT`).  Workers send one-way
+  ``heartbeat`` frames while executing, so a connection that stays silent
+  past the deadline is *dead*, not busy — a TCP partition leaves the
+  socket ESTABLISHED forever otherwise — and its leases are released
+  immediately instead of waiting out the (much longer) lease reaper
+  deadline;
+* **per-worker quarantine** — a worker whose leases keep failing
+  (:attr:`quarantine_after` reported failures) is benched for
+  :attr:`quarantine_period` seconds: it stays connected and polling but
+  receives ``wait`` instead of leases, so one bad host (broken numpy,
+  corrupt cache, flaky disk) cannot burn through every chunk's attempt
+  budget.
+
 Threading model: one accept thread, one handler thread per connection, one
 reaper thread expiring leases.  All sweep state lives behind one lock;
 completed batches cross to the submitting thread over a queue.
@@ -44,16 +60,31 @@ from queue import Queue
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import FleetError
+from repro.faults import failpoint
 from repro.fleet import protocol
 from repro.fleet.protocol import format_address, recv_message, send_message
 
-__all__ = ["FleetCoordinator", "FleetSweep", "DEFAULT_LEASE_TIMEOUT"]
+__all__ = ["FleetCoordinator", "FleetSweep", "DEFAULT_LEASE_TIMEOUT",
+           "DEFAULT_HEARTBEAT_TIMEOUT"]
 
 #: Backstop deadline for a lease whose worker stays connected but silent.
 DEFAULT_LEASE_TIMEOUT = 120.0
 
 #: How often idle workers re-ask for work and the reaper scans deadlines.
 DEFAULT_POLL = 0.25
+
+#: Idle timeout on accepted worker connections.  Workers heartbeat every
+#: ~5 s even while executing, so a connection silent this long is a dead
+#: peer (SIGKILL without FIN, network partition), and its leases are
+#: released long before the lease reaper's deadline.  Must stay well
+#: above the worker heartbeat interval and below the lease timeout.
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+
+#: Reported failures before a worker is quarantined (circuit breaker).
+DEFAULT_QUARANTINE_AFTER = 3
+
+#: Seconds a quarantined worker is served ``wait`` instead of leases.
+DEFAULT_QUARANTINE_PERIOD = 60.0
 
 #: Duplicate-lease cap per chunk: stealing covers a dying worker without
 #: letting every idle worker pile onto the same tail chunk.
@@ -123,17 +154,34 @@ class FleetCoordinator:
         timeout only covers workers that hang while staying connected.
     poll:
         Idle-worker re-poll interval, also the reaper scan period.
+    heartbeat_timeout:
+        Read timeout on worker connections; a connection silent this long
+        is dropped and its leases released (0 disables — never idle out).
+    quarantine_after / quarantine_period:
+        Circuit breaker: after this many reported lease failures a worker
+        is served ``wait`` instead of leases for this many seconds
+        (``quarantine_after=0`` disables the breaker).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
-                 poll: float = DEFAULT_POLL) -> None:
+                 poll: float = DEFAULT_POLL,
+                 heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+                 quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+                 quarantine_period: float = DEFAULT_QUARANTINE_PERIOD) -> None:
         if lease_timeout <= 0:
             raise FleetError("lease timeout must be positive")
+        if heartbeat_timeout < 0 or quarantine_after < 0 \
+                or quarantine_period < 0:
+            raise FleetError(
+                "heartbeat timeout and quarantine settings must be >= 0")
         self.host = host
         self.port = port
         self.lease_timeout = float(lease_timeout)
         self.poll = float(poll)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.quarantine_after = int(quarantine_after)
+        self.quarantine_period = float(quarantine_period)
         self._lock = threading.Lock()
         self._listener: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
@@ -156,6 +204,13 @@ class FleetCoordinator:
         self._leases_issued = 0
         self._leases_expired = 0
         self._duplicate_results = 0
+        self._heartbeat_disconnects = 0
+        self._workers_quarantined = 0
+        # Per-worker accounting (persists across reconnects of one name):
+        # chunks/seeds completed, reported failures, first-seen time for
+        # throughput, and the quarantine deadline.
+        self._worker_stats: Dict[str, Dict[str, float]] = {}
+        self._quarantined_until: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -264,12 +319,47 @@ class FleetCoordinator:
             )
         return sweep
 
-    def stats(self) -> Dict[str, Any]:
-        """Counters for operators and the ship-at-most-once assertions."""
+    def abort_sweep(self, sweep: FleetSweep) -> None:
+        """Abandon ``sweep`` so a new one can be submitted.
+
+        Called by the backend when the *consuming* side fails mid-sweep —
+        e.g. the result sink's store raises ``ENOSPC`` — so the sweep in
+        flight does not wedge the coordinator.  Outstanding leases are
+        dropped; late results for the abandoned sweep are counted as
+        duplicates and discarded.
+        """
         with self._lock:
+            if self._sweep is not sweep:
+                return
+            self._sweep = None
+            self._leases.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for operators and the ship-at-most-once assertions.
+
+        ``per_worker`` carries each worker's chunk/seed throughput
+        (measured from its first connection) plus failure and quarantine
+        state, so operators can spot a slow or flapping host from
+        ``repro status``/``/healthz`` without reading coordinator logs.
+        """
+        with self._lock:
+            now = time.monotonic()
             ships_by_worker: Dict[str, int] = {}
             for (worker, _key), count in self._ships.items():
                 ships_by_worker[worker] = ships_by_worker.get(worker, 0) + count
+            per_worker: Dict[str, Dict[str, Any]] = {}
+            for name, acc in sorted(self._worker_stats.items()):
+                elapsed = max(now - acc["since"], 1e-9)
+                per_worker[name] = {
+                    "connected": name in self._links,
+                    "chunks": int(acc["chunks"]),
+                    "seeds": int(acc["seeds"]),
+                    "chunks_per_s": round(acc["chunks"] / elapsed, 3),
+                    "seeds_per_s": round(acc["seeds"] / elapsed, 3),
+                    "failures": int(acc["failures"]),
+                    "quarantined":
+                        self._quarantined_until.get(name, 0.0) > now,
+                }
             return {
                 "address": self.address,
                 "workers": len(self._links),
@@ -279,11 +369,27 @@ class FleetCoordinator:
                 "leases_issued": self._leases_issued,
                 "leases_expired": self._leases_expired,
                 "duplicate_results": self._duplicate_results,
+                "heartbeat_disconnects": self._heartbeat_disconnects,
+                "workers_quarantined": self._workers_quarantined,
+                "quarantined_now": sorted(
+                    name for name, until in self._quarantined_until.items()
+                    if until > now),
+                "per_worker": per_worker,
                 "cells_shipped": sum(self._ships.values()),
                 "ships_by_worker": ships_by_worker,
                 "max_ships_per_cell_worker":
                     max(self._ships.values(), default=0),
             }
+
+    def _worker_acc(self, name: str) -> Dict[str, float]:
+        """The per-worker accumulator, created on first reference
+        (call with ``self._lock`` held)."""
+        acc = self._worker_stats.get(name)
+        if acc is None:
+            acc = {"chunks": 0.0, "seeds": 0.0, "failures": 0.0,
+                   "since": time.monotonic()}
+            self._worker_stats[name] = acc
+        return acc
 
     # ------------------------------------------------------------------
     # connection handling
@@ -298,7 +404,12 @@ class FleetCoordinator:
                 sock, _addr = listener.accept()
             except OSError:
                 return  # listener closed
-            sock.settimeout(None)
+            failpoint("fleet.coordinator.accept")
+            # Idle timeout: workers heartbeat even while executing, so a
+            # read blocking this long means the peer is gone (partition,
+            # SIGKILL without FIN) — drop it and release its leases now
+            # instead of letting the lease reaper's deadline do it later.
+            sock.settimeout(self.heartbeat_timeout or None)
             thread = threading.Thread(
                 target=self._serve_connection, args=(sock,),
                 name="fleet-conn", daemon=True,
@@ -340,6 +451,8 @@ class FleetCoordinator:
                 kind = message["type"]
                 if kind == protocol.READY:
                     send_message(sock, self._assignment(link))
+                elif kind == protocol.HEARTBEAT:
+                    continue  # one-way liveness; resets the idle timeout
                 elif kind == protocol.CELL_REQUEST:
                     send_message(
                         sock, self._cell_frame(link, str(message.get("cell"))))
@@ -351,6 +464,11 @@ class FleetCoordinator:
                     send_message(sock, self._assignment(link))
                 else:
                     raise FleetError(f"unexpected message type {kind!r}")
+        except socket.timeout:
+            # Connected-but-silent past the heartbeat deadline: declared
+            # dead; _unregister below releases the leases immediately.
+            with self._lock:
+                self._heartbeat_disconnects += 1
         except (OSError, FleetError):
             pass  # connection-level failure: leases are released below
         finally:
@@ -367,6 +485,7 @@ class FleetCoordinator:
             link = _WorkerLink(name, sock)
             self._links[name] = link
             self._workers_seen += 1
+            self._worker_acc(name)
             return link
 
     def _unregister(self, link: _WorkerLink) -> None:
@@ -395,11 +514,16 @@ class FleetCoordinator:
             sweep.pending.appendleft(lease.chunk)
 
     def _assignment(self, link: _WorkerLink) -> Dict[str, Any]:
+        failpoint("fleet.coordinator.assign")  # stall outside the lock
         with self._lock:
             if self._closing:
                 return {"type": protocol.SHUTDOWN}
             sweep = self._sweep
             if sweep is None or sweep.error is not None or not sweep.remaining:
+                return {"type": protocol.WAIT, "poll": self.poll}
+            if self._quarantined_until.get(link.name, 0.0) > time.monotonic():
+                # Circuit breaker open: the worker keeps polling but gets
+                # no leases until its quarantine period lapses.
                 return {"type": protocol.WAIT, "poll": self.poll}
             stolen = False
             if sweep.pending:
@@ -482,6 +606,10 @@ class FleetCoordinator:
                 )
             sweep.done.add(index)
             self._chunks_done += 1
+            if lease is not None:
+                acc = self._worker_acc(lease.worker)
+                acc["chunks"] += 1
+                acc["seeds"] += expected
             # Retire every other lease on this chunk; late duplicates hit
             # the `index in sweep.done` branch above.
             for other in sweep.chunk_leases.pop(index, set()):
@@ -491,6 +619,16 @@ class FleetCoordinator:
     def _failure(self, message: Mapping[str, Any]) -> None:
         with self._lock:
             lease = self._leases.pop(int(message.get("lease", -1)), None)
+            if lease is not None:
+                acc = self._worker_acc(lease.worker)
+                acc["failures"] += 1
+                if self.quarantine_after \
+                        and acc["failures"] % self.quarantine_after == 0:
+                    # Circuit breaker: repeated failures bench the worker
+                    # so it cannot burn every chunk's attempt budget.
+                    self._quarantined_until[lease.worker] = (
+                        time.monotonic() + self.quarantine_period)
+                    self._workers_quarantined += 1
             sweep = self._sweep
             index = int(message.get("chunk", -1))
             if sweep is None or not 0 <= index < len(sweep.chunks) \

@@ -19,7 +19,15 @@ worker sends    coordinator replies          meaning
                 ``shutdown``
 ``failure``     ``lease``/``wait``/           report a chunk error, ask again
                 ``shutdown``
+``heartbeat``   *(no reply)*                 liveness while executing a lease
 ==============  ===========================  ==============================
+
+``heartbeat`` is the one exception to request/response: a worker's
+heartbeat thread sends it while a lease executes, and the coordinator
+consumes it silently.  It exists for the coordinator's idle timeout — a
+connection that stays silent past the heartbeat deadline is declared
+dead and its leases are released immediately, long before the lease
+reaper's deadline would fire.
 
 Version skew is rejected at the ``hello`` exchange: both sides speak
 exactly :data:`PROTOCOL_VERSION` and a mismatch earns an ``error`` frame
@@ -42,6 +50,7 @@ import struct
 from typing import Any, Mapping, Optional, Tuple
 
 from repro.exceptions import ConfigurationError, FleetError
+from repro.faults import failpoint
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -55,7 +64,8 @@ __all__ = [
 ]
 
 #: Protocol revision; bumped on any incompatible frame or message change.
-PROTOCOL_VERSION = 1
+#: Version 2 added the one-way ``heartbeat`` message.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on a single frame.  A frame holds at most one pickled
 #: ``(cell)`` or one chunk's result batch; anything past this is a corrupt
@@ -76,17 +86,32 @@ CELL_REQUEST = "cell-request"
 CELL = "cell"
 RESULT = "result"
 FAILURE = "failure"
+HEARTBEAT = "heartbeat"
 
 
 def send_message(sock: socket.socket, message: Mapping[str, Any]) -> None:
-    """Encode ``message`` as one length-prefixed JSON frame and send it."""
+    """Encode ``message`` as one length-prefixed JSON frame and send it.
+
+    Failpoint ``fleet.frame.send`` can drop the frame silently (the peer
+    sees nothing and its idle/reply timeout must recover), send a
+    truncated prefix and fail (the peer sees a mid-frame EOF when the
+    connection closes), delay it, or fail the write outright.
+    """
     data = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(data) > MAX_FRAME_BYTES:
         raise FleetError(
             f"refusing to send a {len(data)}-byte frame "
             f"(limit {MAX_FRAME_BYTES})"
         )
-    sock.sendall(_HEADER.pack(len(data)) + data)
+    frame = _HEADER.pack(len(data)) + data
+    action = failpoint("fleet.frame.send")
+    if action is not None:
+        if action.kind == "drop":
+            return
+        if action.kind == "truncate":
+            sock.sendall(frame[: max(1, len(frame) // 2)])
+            raise action.error()
+    sock.sendall(frame)
 
 
 def recv_message(sock: socket.socket) -> Optional[dict]:
@@ -94,7 +119,9 @@ def recv_message(sock: socket.socket) -> Optional[dict]:
 
     Raises :class:`FleetError` for truncated frames, oversized length
     prefixes, or payloads that are not a JSON object with a ``"type"``.
+    Failpoint ``fleet.frame.recv`` can delay or fail the read.
     """
+    failpoint("fleet.frame.recv")
     header = _recv_exact(sock, _HEADER.size)
     if header is None:
         return None

@@ -17,9 +17,20 @@ pointed at a machine-local cache that already compiled a cell never needs
 it shipped at all.
 
 Lifecycle: connection loss (coordinator restart, network blip) falls back
-to a reconnect loop with exponential backoff; the worker exits cleanly on
-a ``shutdown`` frame, on :meth:`FleetWorker.stop`, or when it cannot
+to a reconnect loop with *jittered* exponential backoff — jitter drawn
+from the worker's seeded RNG, so a hundred workers losing one coordinator
+do not reconnect in lock-step (thundering herd) yet every test replay is
+reproducible.  Errors are classified: socket-level disconnects are
+retryable; protocol-level rejections (version skew, handshake refusal —
+:class:`~repro.exceptions.FleetProtocolError`) are fatal, because retrying
+an incompatible coordinator can never succeed.  The worker exits cleanly
+on a ``shutdown`` frame, on :meth:`FleetWorker.stop`, or when it cannot
 (re)connect within its ``retry`` window.
+
+While a lease executes, a heartbeat thread sends one-way ``heartbeat``
+frames so the coordinator's idle timeout can tell "busy executing" from
+"silently gone" (a TCP partition leaves the connection ESTABLISHED but
+mute); see :class:`~repro.fleet.coordinator.FleetCoordinator`.
 """
 
 from __future__ import annotations
@@ -29,10 +40,12 @@ import socket
 import sys
 import threading
 import time
+from random import Random
 from typing import Any, Dict, Optional, Union
 
 from repro.engine.cache import ArtifactCache, default_cache
-from repro.exceptions import FleetError
+from repro.exceptions import FleetError, FleetProtocolError
+from repro.faults import failpoint
 from repro.fleet import protocol
 from repro.fleet.protocol import parse_address, recv_message, send_message
 
@@ -44,8 +57,21 @@ CELL_NAMESPACE = "cell"
 
 #: Socket timeout for handshake and assignment replies.  The coordinator
 #: answers every worker frame immediately (a handler thread per
-#: connection), so a silent half-minute means the link is gone.
+#: connection), so a silent half-minute means the link is gone.  The
+#: ``REPRO_FLEET_REPLY_TIMEOUT`` environment variable overrides it (the
+#: chaos soak shortens it so dropped frames cost seconds, not minutes).
 _REPLY_TIMEOUT = 30.0
+
+REPLY_TIMEOUT_ENV_VAR = "REPRO_FLEET_REPLY_TIMEOUT"
+
+#: Reconnect backoff: exponential from base to cap, each sleep scaled by
+#: a jitter factor in [0.5, 1.0) drawn from the worker's seeded RNG.
+_BACKOFF_BASE = 0.1
+_BACKOFF_CAP = 2.0
+
+#: Seconds between heartbeat frames while executing a lease.  Must be
+#: comfortably below the coordinator's idle timeout.
+DEFAULT_HEARTBEAT = 5.0
 
 
 class FleetWorker:
@@ -64,6 +90,13 @@ class FleetWorker:
         honours ``REPRO_CACHE_DIR`` like the rest of the engine.
     retry:
         Seconds to keep retrying a failed (re)connect before giving up.
+    seed:
+        Seed for the worker's RNG (reconnect jitter).  Defaults to a
+        deterministic function of the worker name, so named workers in
+        tests replay exactly while distinct workers de-correlate.
+    heartbeat:
+        Seconds between liveness frames while a lease executes (0
+        disables the heartbeat thread).
     quiet:
         Suppress the per-event stderr log lines.
     """
@@ -71,16 +104,24 @@ class FleetWorker:
     def __init__(self, connect: str, *, name: Optional[str] = None,
                  cache: Optional[ArtifactCache] = None,
                  cache_dir: Union[None, str, os.PathLike] = None,
-                 retry: float = 30.0, quiet: bool = False) -> None:
+                 retry: float = 30.0, seed: Optional[int] = None,
+                 heartbeat: float = DEFAULT_HEARTBEAT,
+                 quiet: bool = False) -> None:
         self.host, self.port = parse_address(connect)
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
         self.cache = cache if cache is not None else default_cache(cache_dir)
         self.retry = float(retry)
+        self.heartbeat = float(heartbeat)
         self.quiet = quiet
         self.chunks_executed = 0
         self.seeds_executed = 0
         self.cells_fetched = 0
+        self._rng = Random(seed if seed is not None
+                           else f"fleet-worker:{self.name}")
+        self._reply_timeout = float(
+            os.environ.get(REPLY_TIMEOUT_ENV_VAR) or _REPLY_TIMEOUT)
         self._stop = threading.Event()
+        self._send_lock = threading.Lock()
         self._connected_once = False
 
     # ------------------------------------------------------------------
@@ -94,26 +135,35 @@ class FleetWorker:
         ``0``: clean shutdown (coordinator said so, :meth:`stop` was
         called, or the coordinator went away after at least one successful
         session).  ``1``: never reached a coordinator within ``retry``.
+        ``2``: fatal protocol error (version skew, handshake rejection) —
+        retrying cannot succeed, an operator must upgrade or reconfigure.
         """
-        backoff = 0.1
+        backoff = _BACKOFF_BASE
         deadline = time.monotonic() + self.retry
         while not self._stop.is_set():
             try:
                 sock = socket.create_connection(
-                    (self.host, self.port), timeout=_REPLY_TIMEOUT)
+                    (self.host, self.port), timeout=self._reply_timeout)
             except OSError:
                 if time.monotonic() >= deadline:
                     self._log("giving up: no coordinator at "
                               f"{self.host}:{self.port} for {self.retry:g}s")
                     return 0 if self._connected_once else 1
-                self._stop.wait(backoff)
-                backoff = min(backoff * 2, 2.0)
+                # Jitter each sleep so a fleet reconnecting to a restarted
+                # coordinator spreads out instead of stampeding in sync;
+                # the factor comes from the worker's seeded RNG, keeping
+                # replays exact.
+                self._stop.wait(self._jittered(backoff))
+                backoff = min(backoff * 2, _BACKOFF_CAP)
                 continue
-            backoff = 0.1
+            backoff = _BACKOFF_BASE
             try:
                 finished = self._serve(sock)
+            except FleetProtocolError as error:
+                self._log(f"fatal: {error}")
+                return 2
             except (OSError, FleetError) as error:
-                self._log(f"connection lost: {error}")
+                self._log(f"connection lost (will retry): {error}")
                 finished = False
             finally:
                 sock.close()
@@ -122,11 +172,15 @@ class FleetWorker:
             deadline = time.monotonic() + self.retry
         return 0
 
+    def _jittered(self, backoff: float) -> float:
+        """``backoff`` scaled into [0.5, 1.0) of itself, seeded-random."""
+        return backoff * (0.5 + 0.5 * self._rng.random())
+
     # ------------------------------------------------------------------
     def _serve(self, sock: socket.socket) -> bool:
         """One connected session; ``True`` when told to shut down."""
-        sock.settimeout(_REPLY_TIMEOUT)
-        send_message(sock, {
+        sock.settimeout(self._reply_timeout)
+        self._send(sock, {
             "type": protocol.HELLO,
             "version": protocol.PROTOCOL_VERSION,
             "worker": self.name,
@@ -134,32 +188,62 @@ class FleetWorker:
         })
         welcome = self._reply(sock)
         if welcome["type"] == protocol.ERROR:
-            raise FleetError(
+            # The coordinator refused the handshake (version skew or an
+            # explicit rejection): no amount of reconnecting fixes that.
+            raise FleetProtocolError(
                 f"coordinator rejected worker: {welcome.get('reason')}")
         if welcome["type"] != protocol.WELCOME \
                 or welcome.get("version") != protocol.PROTOCOL_VERSION:
-            raise FleetError(f"unexpected handshake reply {welcome!r}")
+            raise FleetProtocolError(
+                f"unexpected handshake reply {welcome!r}")
         self._connected_once = True
         self._log(f"connected to {self.host}:{self.port} "
                   f"as {welcome.get('worker', self.name)!r}")
-        assignment = self._rpc(sock, {"type": protocol.READY})
-        while True:
-            if self._stop.is_set():
-                return True
-            kind = assignment["type"]
-            if kind == protocol.SHUTDOWN:
-                self._log("coordinator sent shutdown")
-                return True
-            if kind == protocol.WAIT:
-                if self._stop.wait(float(assignment.get("poll", 0.25))):
+        beat_stop = threading.Event()
+        beat = None
+        if self.heartbeat > 0:
+            beat = threading.Thread(
+                target=self._heartbeat_loop, args=(sock, beat_stop),
+                name=f"{self.name}-heartbeat", daemon=True)
+            beat.start()
+        try:
+            assignment = self._rpc(sock, {"type": protocol.READY})
+            while True:
+                if self._stop.is_set():
                     return True
-                assignment = self._rpc(sock, {"type": protocol.READY})
-            elif kind == protocol.LEASE:
-                assignment = self._execute_lease(sock, assignment)
-            elif kind == protocol.ERROR:
-                raise FleetError(str(assignment.get("reason")))
-            else:
-                raise FleetError(f"unexpected message type {kind!r}")
+                kind = assignment["type"]
+                if kind == protocol.SHUTDOWN:
+                    self._log("coordinator sent shutdown")
+                    return True
+                if kind == protocol.WAIT:
+                    if self._stop.wait(float(assignment.get("poll", 0.25))):
+                        return True
+                    assignment = self._rpc(sock, {"type": protocol.READY})
+                elif kind == protocol.LEASE:
+                    assignment = self._execute_lease(sock, assignment)
+                elif kind == protocol.ERROR:
+                    raise FleetError(str(assignment.get("reason")))
+                else:
+                    raise FleetError(f"unexpected message type {kind!r}")
+        finally:
+            beat_stop.set()
+            if beat is not None:
+                beat.join(timeout=1.0)
+
+    def _heartbeat_loop(self, sock: socket.socket,
+                        stop: threading.Event) -> None:
+        """Send one-way liveness frames until the session ends.
+
+        Runs beside the main loop so the coordinator keeps hearing from
+        the worker even while a long lease executes; a send failure just
+        ends the thread — the main loop sees the broken socket itself.
+        """
+        while not stop.wait(self.heartbeat):
+            try:
+                self._send(sock, {"type": protocol.HEARTBEAT,
+                                  "worker": self.name})
+            except (OSError, FleetError):
+                return
 
     def _execute_lease(self, sock: socket.socket,
                        lease: Dict[str, Any]) -> Dict[str, Any]:
@@ -176,6 +260,7 @@ class FleetWorker:
             self.cells_fetched += 1
             self._log(f"fetched cell {key[:12]}…")
         seeds = [int(seed) for seed in lease["seeds"]]
+        failpoint("fleet.worker.crash_before_execute")
         try:
             results = cell.execute_batch(seeds)
         except Exception as error:  # deliberate: report, don't die
@@ -186,6 +271,7 @@ class FleetWorker:
                 "chunk": lease["chunk"],
                 "message": f"{type(error).__name__}: {error}",
             })
+        failpoint("fleet.worker.crash_before_report")
         self.chunks_executed += 1
         self.seeds_executed += len(seeds)
         return self._rpc(sock, {
@@ -197,9 +283,15 @@ class FleetWorker:
         })
 
     # ------------------------------------------------------------------
+    def _send(self, sock: socket.socket, message: Dict[str, Any]) -> None:
+        # The send lock keeps heartbeat frames from interleaving with
+        # request frames mid-write; receives stay main-thread-only.
+        with self._send_lock:
+            send_message(sock, message)
+
     def _rpc(self, sock: socket.socket,
              message: Dict[str, Any]) -> Dict[str, Any]:
-        send_message(sock, message)
+        self._send(sock, message)
         return self._reply(sock)
 
     def _reply(self, sock: socket.socket) -> Dict[str, Any]:

@@ -336,6 +336,11 @@ class StudyDaemon:
         if workers is not None or self.config.fleet is not None:
             payload["fleet"] = self.config.fleet
             payload["fleet_workers"] = workers or 0
+            stats = self.scheduler.fleet_stats()
+            if stats is not None:
+                # The coordinator's full counters: per-worker throughput
+                # (chunks/s, seeds/s), quarantine state, steals, expiries.
+                payload["fleet_stats"] = stats
         return payload
 
     # ------------------------------------------------------------------

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
 from repro.exceptions import ReproError
+from repro.faults import crash_now, failpoint
 
 __all__ = ["Job", "JobState", "JobJournal", "JobRegistry", "JobError"]
 
@@ -95,6 +96,12 @@ class Job:
     finished: Optional[float] = None
     error: Optional[str] = None
     requeues: int = field(default=0)
+    #: Most recent failure/requeue reason.  Unlike ``error`` (which only a
+    #: terminal FAILED state carries), this survives recovery: a job that
+    #: was re-queued after a daemon crash and then succeeded still shows
+    #: why it flapped, so operators can spot unstable jobs from the
+    #: listing without reading the journal.
+    last_failure: Optional[str] = None
 
     @property
     def is_terminal(self) -> bool:
@@ -125,6 +132,7 @@ class Job:
             "finished": self.finished,
             "error": self.error,
             "requeues": self.requeues,
+            "last_failure": self.last_failure,
         }
 
     def summary(self) -> Dict[str, Any]:
@@ -154,6 +162,7 @@ class Job:
                 finished=row.get("finished"),
                 error=row.get("error"),
                 requeues=int(row.get("requeues", 0)),
+                last_failure=row.get("last_failure"),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise JobError(f"not a job record: {error}") from None
@@ -214,11 +223,23 @@ class JobJournal:
         self._handle = open(self.path, "ab")
 
     def append(self, event: Mapping[str, Any]) -> None:
-        """Durably append one event (fsynced before returning)."""
+        """Durably append one event (fsynced before returning).
+
+        Failpoint ``service.journal.append`` can fail the append cleanly
+        (``kind=error``, nothing written) or tear it (``kind=torn``: half
+        the line reaches disk and the process dies, exactly the crash
+        window the torn-tail truncation in :meth:`open` repairs).
+        """
+        action = failpoint("service.journal.append")
         if self._handle is None:
             self.open()
         line = (json.dumps(dict(event), separators=(",", ":"))
                 + "\n").encode("utf-8")
+        if action is not None and action.kind == "torn":
+            self._handle.write(line[: max(1, len(line) // 2)])
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            crash_now(action)
         self._handle.write(line)
         self._handle.flush()
         os.fsync(self._handle.fileno())
@@ -296,8 +317,11 @@ class JobRegistry:
             job.finished = event["finished"]
         if event.get("error") is not None:
             job.error = str(event["error"])
+            job.last_failure = str(event["error"])
         if event.get("requeued"):
             job.requeues += 1
+            job.last_failure = str(
+                event.get("failure") or "daemon restarted mid-run")
 
     # ------------------------------------------------------------------
     # mutation
@@ -320,13 +344,15 @@ class JobRegistry:
 
     def try_transition(self, job_id: str, state: JobState, *,
                        error: Optional[str] = None,
-                       requeued: bool = False) -> bool:
+                       requeued: bool = False,
+                       failure: Optional[str] = None) -> bool:
         """Atomically move a job to ``state`` if the move is legal.
 
         Returns ``False`` (without journalling) when the job is not in a
         state that allows the transition — the caller lost a race (e.g.
         cancel beat start) and should re-read the job.  Raises for an
-        unknown job id.
+        unknown job id.  ``failure`` records a requeue reason in the
+        job's ``last_failure`` without marking it failed.
         """
         with self._lock:
             job = self._jobs.get(job_id)
@@ -335,12 +361,13 @@ class JobRegistry:
             if state not in _TRANSITIONS[job.state]:
                 return False
             self._record_transition(job, state, error=error,
-                                    requeued=requeued)
+                                    requeued=requeued, failure=failure)
             return True
 
     def _record_transition(self, job: Job, state: JobState, *,
                            error: Optional[str] = None,
-                           requeued: bool = False) -> None:
+                           requeued: bool = False,
+                           failure: Optional[str] = None) -> None:
         event: Dict[str, Any] = {
             "event": "state",
             "id": job.id,
@@ -355,6 +382,8 @@ class JobRegistry:
             event["error"] = error
         if requeued:
             event["requeued"] = True
+        if failure is not None:
+            event["failure"] = failure
         self.journal.append(event)
         self._apply(job, event)
 

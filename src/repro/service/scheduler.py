@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional
 from repro.engine.backends import get_backend
 from repro.engine.cache import ArtifactCache
 from repro.exceptions import ReproError
+from repro.faults import failpoint
 from repro.service.jobqueue import JobQueue
 from repro.service.jobs import Job, JobRegistry, JobState
 from repro.study.store import ProgressEvent
@@ -150,6 +151,27 @@ class Scheduler:
             return None
         return sum(counts)
 
+    def fleet_stats(self) -> Optional[Dict[str, Any]]:
+        """Coordinator counters of the fleet backend(s), for ``/healthz``.
+
+        ``None`` when no fleet backend is in play.  With the usual single
+        fleet-aware worker thread this is that coordinator's
+        :meth:`~repro.fleet.coordinator.FleetCoordinator.stats` payload —
+        per-worker throughput, quarantine state, steal/expiry counters —
+        keyed flat; with several, the per-coordinator payloads are listed
+        under ``"coordinators"``.
+        """
+        with self._state_lock:
+            backends = list(self._backends)
+        payloads = [backend.stats() for backend in backends
+                    if hasattr(backend, "workers_connected")
+                    and hasattr(backend, "stats")]
+        if not payloads:
+            return None
+        if len(payloads) == 1:
+            return payloads[0]
+        return {"coordinators": payloads}
+
     # ------------------------------------------------------------------
     # the worker loop
     # ------------------------------------------------------------------
@@ -201,6 +223,12 @@ class Scheduler:
             self._events[job.id] = ring
 
         def observe(event: ProgressEvent) -> None:
+            # Failpoint between store chunks: ``kind=crash`` kills the
+            # daemon exactly where a real power cut could (the chunk that
+            # just committed is durable, the journal says ``running``, and
+            # the next daemon start re-queues + resumes); ``kind=error``
+            # fails the job through the ordinary error path.
+            failpoint("service.job.chunk")
             payload = event.to_dict()
             payload["ts"] = time.time()
             with self._state_lock:
@@ -221,8 +249,9 @@ class Scheduler:
             if self._stopping.is_set():
                 # Daemon shutdown, not a user cancel: hand the job back to
                 # the queue so the next start resumes it.
-                self.registry.try_transition(job.id, JobState.QUEUED,
-                                             requeued=True)
+                self.registry.try_transition(
+                    job.id, JobState.QUEUED, requeued=True,
+                    failure="daemon stopped mid-run")
             else:
                 self.registry.try_transition(job.id, JobState.CANCELLED)
         except ReproError as error:

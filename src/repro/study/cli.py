@@ -48,6 +48,17 @@ Subcommands
 
         python -m repro worker --connect 127.0.0.1:8766
 
+``chaos``
+    Run the chaos soak: seeded random fault schedules (``REPRO_FAULTS``
+    failpoints; see ``docs/robustness.md``) over a fleet sweep and a
+    service job, each byte-compared against a serial baseline::
+
+        python -m repro chaos --schedules 3 --seed 9 --out soak_report.json
+
+    ``run``/``sweep``/``serve``/``worker`` also accept ``--faults SPEC``
+    / ``--faults-seed S`` directly to arm a single deterministic fault
+    schedule for one invocation.
+
 ``submit`` / ``jobs`` / ``job`` / ``cancel`` / ``fetch``
     The client side of the service — submit a spec file as a job, list
     jobs (with per-client quota accounting), inspect one job's state and
@@ -215,6 +226,19 @@ def _add_study_options(parser: argparse.ArgumentParser) -> None:
                         help="suppress the summary table and progress line")
 
 
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    from repro.faults import FAULTS_ENV_VAR, FAULTS_SEED_ENV_VAR
+
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="arm deterministic failpoints, e.g. "
+                             "'fleet.frame.send:p=0.05;store.fsync:count=1' "
+                             f"(default: ${FAULTS_ENV_VAR}; see "
+                             f"docs/robustness.md for the site catalogue)")
+    parser.add_argument("--faults-seed", type=int, default=None, metavar="S",
+                        help="fault-schedule seed for exact replay "
+                             f"(default: ${FAULTS_SEED_ENV_VAR} or 0)")
+
+
 def _add_client_options(parser: argparse.ArgumentParser) -> None:
     from repro.service.client import CLIENT_ENV_VAR, SERVICE_URL_ENV_VAR
 
@@ -237,9 +261,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run a benchmarks x designs study")
     _add_study_options(run)
+    _add_fault_options(run)
 
     sweep = sub.add_parser("sweep", help="run a study with extra sweep axes")
     _add_study_options(sweep)
+    _add_fault_options(sweep)
     sweep.add_argument("--axis", "-a", action="append", default=None,
                        metavar="FIELD=V1,V2",
                        help="sweep axis (repeatable); zip fields with "
@@ -301,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="garbage-collect done/failed/cancelled jobs "
                             "(and their orphaned stores) older than DUR "
                             "(e.g. 90s, 30m, 12h, 7d)")
+    _add_fault_options(serve)
 
     worker = sub.add_parser(
         "worker", help="run a fleet worker process pulling chunk leases")
@@ -317,8 +344,41 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--retry", type=float, default=30.0, metavar="S",
                         help="keep retrying a failed (re)connect for S "
                              "seconds before exiting (default 30)")
+    worker.add_argument("--seed", type=int, default=None, metavar="S",
+                        help="seed the worker's RNG (reconnect-backoff "
+                             "jitter) for a replayable retry schedule "
+                             "(default: derived from the worker name)")
     worker.add_argument("--quiet", "-q", action="store_true",
                         help="suppress per-event log lines")
+    _add_fault_options(worker)
+
+    chaos = sub.add_parser(
+        "chaos", help="run the chaos soak: seeded random fault schedules "
+                      "over the fleet + service + store stack, every "
+                      "surviving run byte-compared to a serial baseline")
+    chaos.add_argument("--schedules", type=int, default=None, metavar="N",
+                       help="random fault schedules to run (default 3)")
+    chaos.add_argument("--seed", type=int, default=None, metavar="S",
+                       help="soak seed; the same seed replays the same "
+                            "schedules exactly (default 9)")
+    chaos.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="fleet worker subprocesses per schedule "
+                            "(default 2)")
+    chaos.add_argument("--root", default=None, metavar="DIR",
+                       help="working directory for stores, logs, and "
+                            "per-schedule results (default: a temp dir, "
+                            "removed afterwards)")
+    chaos.add_argument("--keep", action="store_true",
+                       help="keep the working directory for post-mortems")
+    chaos.add_argument("--out", default=None, metavar="PATH",
+                       help="write the JSON soak report to PATH (the CI "
+                            "artifact)")
+    chaos.add_argument("--phase-timeout", type=float, default=300.0,
+                       metavar="S",
+                       help="give up on one schedule phase after S seconds "
+                            "(default 300)")
+    chaos.add_argument("--quiet", "-q", action="store_true",
+                       help="suppress per-schedule progress lines")
 
     submit = sub.add_parser(
         "submit", help="submit a study spec to the service as a job")
@@ -671,6 +731,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if status["state"] == "done" else 1
 
 
+def _ellipsize(text: Optional[str], width: int = 32) -> str:
+    if not text:
+        return ""
+    return text if len(text) <= width else text[: width - 1] + "…"
+
+
 def _cmd_jobs(args: argparse.Namespace) -> int:
     client = _service_client(args)
     listing = client.jobs(state=args.state)
@@ -686,12 +752,13 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
         header += f", {workers} fleet worker(s) connected"
     print(header)
     rows = [[job["id"], job["state"], job["client"], job["priority"],
-             job["total_tasks"], job["requeues"], job.get("name") or ""]
+             job["total_tasks"], job["requeues"],
+             _ellipsize(job.get("last_failure")), job.get("name") or ""]
             for job in listing["jobs"]]
     if rows:
         print(format_table(
             ["id", "state", "client", "priority", "runs", "requeues",
-             "name"], rows))
+             "last failure", "name"], rows))
     else:
         print("no jobs")
     quota = listing["quota"]
@@ -707,7 +774,8 @@ def _cmd_job(args: argparse.Namespace) -> int:
         return 0
     rows = [[key, status.get(key)] for key in
             ("id", "state", "client", "priority", "cells", "total_tasks",
-             "requeues", "store", "error") if status.get(key) is not None]
+             "requeues", "last_failure", "store", "error")
+            if status.get(key) is not None]
     print(format_table(["field", "value"], rows))
     latest = (status.get("progress") or {}).get("latest")
     if latest:
@@ -743,6 +811,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         name=args.name,
         cache_dir=args.cache_dir,
         retry=args.retry,
+        seed=args.seed,
         quiet=args.quiet,
     )
 
@@ -755,6 +824,31 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         worker.stop()
         return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import DEFAULT_SCHEDULES, DEFAULT_SEED, run_chaos
+
+    report = run_chaos(
+        schedules=(args.schedules if args.schedules is not None
+                   else DEFAULT_SCHEDULES),
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        workers=args.workers,
+        root=Path(args.root) if args.root else None,
+        keep=args.keep,
+        out=Path(args.out) if args.out else None,
+        phase_timeout=args.phase_timeout,
+        quiet=args.quiet,
+    )
+    sites = report["sites_covered"]
+    layers = report["layers_covered"]
+    verdict = "byte-identical" if report["identical"] else "DIVERGED"
+    print(f"chaos soak (seed {report['seed']}): "
+          f"{len(report['schedules'])} schedule(s), {len(sites)} fault "
+          f"site(s) across {len(layers)} layer(s) — {verdict}")
+    if args.out:
+        print(f"report: {args.out}")
+    return 0 if report["identical"] else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -874,6 +968,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        # Arm failpoints first — from the explicit flags where the command
+        # has them, else from $REPRO_FAULTS, so `repro worker` / `repro
+        # serve` subprocesses inherit a chaos schedule through their
+        # environment.  With neither present every failpoint stays inert.
+        from repro.faults import install_faults, install_faults_from_env
+
+        if getattr(args, "faults", None):
+            install_faults(args.faults,
+                           seed=getattr(args, "faults_seed", None) or 0)
+        else:
+            install_faults_from_env()
         if args.command in ("run", "sweep"):
             return _cmd_run(args)
         if args.command == "serve":
@@ -890,6 +995,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_cancel(args)
         if args.command == "fetch":
             return _cmd_fetch(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "cache":
             return _cmd_cache(args)
         if args.command == "status":

@@ -48,7 +48,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
-from repro.exceptions import ConfigurationError, StoreError
+from repro.exceptions import ConfigurationError, StoreError, StoreWriteError
+from repro.faults import failpoint
 from repro.study.results import ResultSet, RunRecord
 
 __all__ = [
@@ -598,6 +599,15 @@ class RunStore:
         method returns, the chunk survives a kill: its bytes are fsynced
         in the shard and the fsynced chunk-log line names them.  Both
         writes are O(chunk), never O(store).
+
+        Degrades gracefully when the filesystem fails (``ENOSPC``, I/O
+        errors, injected faults at the ``store.fsync``,
+        ``store.shard.write``, and ``store.log.append`` failpoints): the
+        failing chunk is simply *not committed* and a structured
+        :class:`~repro.exceptions.StoreWriteError` carries the resume
+        point — every previously committed chunk stays durable, and a
+        freshly loaded store resumes from exactly there after repairing
+        any torn tail this failure left.
         """
         manifest = self._require_manifest()
         chunks = self._require_chunks()
@@ -612,34 +622,66 @@ class RunStore:
                  for record in records]
         data = ("\n".join(lines) + "\n").encode("utf-8")
         shard = self.path / manifest["cells"][chunk.cell]["shard"]
-        shard_is_new = not shard.exists()
-        with open(shard, "ab") as handle:
-            offset = handle.tell()
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        if shard_is_new:
-            # A fsynced file whose directory entry is lost to a power cut
-            # would make the committed chunk unreadable; pin the creation
-            # before the log line commits it.
-            self._sync_directory(shard.parent)
-        entry = {
-            "id": chunk.id,
-            "cell": chunk.cell,
-            "start": chunk.start,
-            "count": chunk.count,
-            "offset": offset,
-            "length": len(data),
-            "sha256": hashlib.sha256(data).hexdigest(),
-        }
-        line = (json.dumps(entry, separators=(",", ":")) + "\n").encode("utf-8")
-        log_is_new = not self.chunk_log_path.exists()
-        with open(self.chunk_log_path, "ab") as handle:
-            handle.write(line)
-            handle.flush()
-            os.fsync(handle.fileno())
-        if log_is_new:
-            self._sync_directory()
+        try:
+            shard_is_new = not shard.exists()
+            with open(shard, "ab") as handle:
+                offset = handle.tell()
+                action = failpoint("store.shard.write")
+                if action is not None and action.kind == "torn":
+                    # Tear the append: part of the payload reaches the
+                    # shard, the commit record never follows.  Reopen
+                    # truncates the orphaned tail (_repair_shards).
+                    handle.write(data[: max(1, len(data) // 2)])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    raise action.error()
+                handle.write(data)
+                handle.flush()
+                failpoint("store.fsync")
+                os.fsync(handle.fileno())
+            if shard_is_new:
+                # A fsynced file whose directory entry is lost to a power
+                # cut would make the committed chunk unreadable; pin the
+                # creation before the log line commits it.
+                self._sync_directory(shard.parent)
+            entry = {
+                "id": chunk.id,
+                "cell": chunk.cell,
+                "start": chunk.start,
+                "count": chunk.count,
+                "offset": offset,
+                "length": len(data),
+                "sha256": hashlib.sha256(data).hexdigest(),
+            }
+            line = (json.dumps(entry, separators=(",", ":"))
+                    + "\n").encode("utf-8")
+            log_is_new = not self.chunk_log_path.exists()
+            with open(self.chunk_log_path, "ab") as handle:
+                action = failpoint("store.log.append")
+                if action is not None and action.kind == "torn":
+                    # Tear the commit line itself; without its trailing
+                    # newline it is not committed, and reopen truncates it.
+                    handle.write(line[: max(1, len(line) // 2)])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    raise action.error()
+                handle.write(line)
+                handle.flush()
+                failpoint("store.fsync")
+                os.fsync(handle.fileno())
+            if log_is_new:
+                self._sync_directory()
+        except OSError as error:
+            committed_runs = sum(e["count"] for e in chunks.values())
+            raise StoreWriteError(
+                f"cannot durably append chunk {chunk.id} to store "
+                f"{self.path}: {error}; the {len(chunks)} committed "
+                f"chunk(s) covering {committed_runs} run(s) remain "
+                f"durable — reload the store to resume from there",
+                errno=getattr(error, "errno", None),
+                committed_chunks=len(chunks),
+                committed_runs=committed_runs,
+            ) from error
         chunks[chunk.id] = entry
 
     # ------------------------------------------------------------------

@@ -405,3 +405,107 @@ class TestCoordinator:
         backend.close()
         thread.join(timeout=30)
         assert not thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# robustness hardening: heartbeat idle-timeout, quarantine breaker,
+# jittered backoff, per-worker throughput stats
+# ----------------------------------------------------------------------
+def raw_worker(coordinator, name):
+    """A hand-driven worker connection past the HELLO/WELCOME handshake."""
+    sock = socket.create_connection(("127.0.0.1", coordinator.port),
+                                    timeout=10)
+    protocol.send_message(sock, {"type": "hello",
+                                 "version": protocol.PROTOCOL_VERSION,
+                                 "worker": name})
+    welcome = protocol.recv_message(sock)
+    assert welcome["type"] == "welcome"
+    return sock
+
+
+class TestHardening:
+    def test_silent_worker_loses_lease_via_heartbeat_timeout(self):
+        """Acceptance criterion: a connected-but-silent worker is declared
+        dead by the heartbeat idle-timeout and its chunk is reassigned
+        long before the lease reaper's deadline would fire."""
+        coordinator = FleetCoordinator(
+            "127.0.0.1", 0, poll=0.05, lease_timeout=60.0,
+            heartbeat_timeout=1.0).start()
+        mute = healthy = None
+        try:
+            coordinator.submit([("cell", [1, 2])], {"cell": BoomCell()})
+            mute = raw_worker(coordinator, "mute")
+            protocol.send_message(mute, {"type": "ready"})
+            lease = protocol.recv_message(mute)
+            assert lease["type"] == "lease" and lease["chunk"] == 0
+            # Stay silent: no heartbeat, no result.  The TCP connection
+            # stays ESTABLISHED, so only the idle-timeout can save us.
+            started = time.monotonic()
+            poll_until(lambda:
+                       coordinator.stats()["heartbeat_disconnects"] == 1,
+                       timeout=30)
+            elapsed = time.monotonic() - started
+            assert elapsed < 30.0  # far before the 60 s lease deadline
+            # The chunk is pending again: a healthy worker gets it now.
+            healthy = raw_worker(coordinator, "healthy")
+            protocol.send_message(healthy, {"type": "ready"})
+            release = protocol.recv_message(healthy)
+            assert release["type"] == "lease" and release["chunk"] == 0
+            assert release["lease"] != lease["lease"]
+        finally:
+            for sock in (mute, healthy):
+                if sock is not None:
+                    sock.close()
+            coordinator.close()
+
+    def test_repeated_failures_quarantine_the_worker(self):
+        coordinator = FleetCoordinator(
+            "127.0.0.1", 0, poll=0.05, quarantine_after=1,
+            quarantine_period=60.0).start()
+        flaky = None
+        try:
+            coordinator.submit([("cell", [1]), ("cell", [2])],
+                               {"cell": BoomCell()})
+            flaky = raw_worker(coordinator, "flaky")
+            protocol.send_message(flaky, {"type": "ready"})
+            lease = protocol.recv_message(flaky)
+            assert lease["type"] == "lease"
+            protocol.send_message(flaky, {
+                "type": "failure", "lease": lease["lease"],
+                "chunk": lease["chunk"], "message": "injected failure"})
+            # The breaker opens: the reply to the failure is wait, not
+            # the other pending chunk.
+            assert protocol.recv_message(flaky)["type"] == "wait"
+            stats = coordinator.stats()
+            assert stats["workers_quarantined"] == 1
+            assert stats["quarantined_now"] == ["flaky"]
+            worker = stats["per_worker"]["flaky"]
+            assert worker["failures"] == 1 and worker["quarantined"]
+        finally:
+            if flaky is not None:
+                flaky.close()
+            coordinator.close()
+
+    def test_backoff_jitter_is_seeded_and_bounded(self):
+        one = FleetWorker("127.0.0.1:1", seed=42, quiet=True)
+        two = FleetWorker("127.0.0.1:1", seed=42, quiet=True)
+        draws_one = [one._jittered(0.8) for _ in range(16)]
+        draws_two = [two._jittered(0.8) for _ in range(16)]
+        assert draws_one == draws_two  # same seed → same retry schedule
+        assert all(0.4 <= d <= 0.8 for d in draws_one)
+        assert len(set(draws_one)) > 1  # actually jittered
+
+    def test_per_worker_throughput_reported_after_sweep(self):
+        spec = small_spec()
+        with fleet_of(2, chunksize=2) as rig:
+            with Study.from_spec(spec, backend=rig.backend) as study:
+                study.run()
+            stats = rig.backend.stats()
+        per_worker = stats["per_worker"]
+        assert set(per_worker) == {"w0", "w1"}
+        assert sum(w["chunks"] for w in per_worker.values()) \
+            == stats["chunks_done"]
+        for worker in per_worker.values():
+            assert worker["seeds_per_s"] >= 0.0
+            assert worker["failures"] == 0
+            assert not worker["quarantined"]

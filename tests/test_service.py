@@ -698,3 +698,55 @@ class TestJobTTLPrune:
                     .jobs()["jobs"] == [])
         finally:
             daemon.stop(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# requeue provenance: last_failure survives the journal and the listing
+# ----------------------------------------------------------------------
+class TestLastFailureProvenance:
+    def test_restart_requeue_records_the_reason(self, tmp_path):
+        journal = JobJournal(tmp_path / "j")
+        registry = JobRegistry(journal)
+        registry.load()
+        registry.add(make_job())
+        registry.try_transition("job-000001", JobState.RUNNING)
+        journal.close()
+
+        revived = JobRegistry(JobJournal(tmp_path / "j"))
+        (job,) = revived.load()
+        assert job.requeues == 1
+        assert job.last_failure == "daemon restarted mid-run"
+
+    def test_explicit_failure_reason_is_kept_and_journalled(self, tmp_path):
+        registry = JobRegistry(JobJournal(tmp_path / "j"))
+        registry.load()
+        registry.add(make_job())
+        registry.try_transition("job-000001", JobState.RUNNING)
+        assert registry.try_transition(
+            "job-000001", JobState.QUEUED, requeued=True,
+            failure="daemon stopped mid-run")
+        job = registry.get("job-000001")
+        assert job.requeues == 1
+        assert job.last_failure == "daemon stopped mid-run"
+        assert job.error is None  # a requeue is not a failure verdict
+
+        # The reason replays from the journal and rides the listing row
+        # (GET /jobs and `repro jobs` render summary()).
+        revived = JobRegistry(JobJournal(tmp_path / "j"))
+        revived.load()
+        row = revived.get("job-000001").summary()
+        assert row["last_failure"] == "daemon stopped mid-run"
+        assert row["requeues"] == 1
+        assert "spec" not in row
+
+    def test_terminal_failure_sets_both_error_and_last_failure(
+            self, tmp_path):
+        registry = JobRegistry(JobJournal(tmp_path / "j"))
+        registry.load()
+        registry.add(make_job())
+        registry.try_transition("job-000001", JobState.RUNNING)
+        registry.try_transition("job-000001", JobState.FAILED,
+                                error="unknown benchmark 'TLIM-33'")
+        job = registry.get("job-000001")
+        assert job.error == "unknown benchmark 'TLIM-33'"
+        assert job.last_failure == "unknown benchmark 'TLIM-33'"

@@ -8,6 +8,7 @@ corruption of the durable state is detected loudly rather than silently
 altering results.
 """
 
+import errno
 import json
 from pathlib import Path
 
@@ -16,7 +17,8 @@ import pytest
 from repro import Study, SystemConfig
 from repro.analysis.report import load_results, store_status_report, summary_report
 from repro.engine.backends import ExecutionBackend
-from repro.exceptions import ConfigurationError, StoreError
+from repro.exceptions import ConfigurationError, StoreError, StoreWriteError
+from repro.faults import failpoint, install_faults, uninstall_faults
 from repro.study import ResultSet, RunStore, aggregate_stream
 from repro.study.store import DEFAULT_CHUNK_SIZE, StoreChunk, chunk_layout
 
@@ -439,3 +441,65 @@ class TestReportsAcceptStores:
         with small_study() as study:
             study.run(store=store)
         assert "complete" in store_status_report(store)
+
+
+# ----------------------------------------------------------------------
+# Injected write failures: the store must fail loudly, keep committed
+# chunks durable, and resume byte-identically after a reopen.
+# ----------------------------------------------------------------------
+class TestInjectedWriteFailures:
+    @pytest.fixture(autouse=True)
+    def inert_faults(self):
+        yield
+        uninstall_faults()
+
+    def test_enospc_on_fsync_reports_committed_state(self, tmp_path,
+                                                     baseline_json):
+        store = tmp_path / "st"
+        install_faults("store.fsync:errno=ENOSPC,after=2,count=1")
+        with small_study() as study:
+            with pytest.raises(StoreWriteError) as excinfo:
+                study.run(store=store, store_chunk_size=2)
+        error = excinfo.value
+        assert error.errno == errno.ENOSPC
+        assert error.committed_chunks >= 1
+        assert error.committed_runs >= 2
+        assert "remain durable" in str(error)
+        assert isinstance(error, StoreError)
+        uninstall_faults()
+        # The durable prefix survives and the rerun completes the study.
+        reopened = RunStore.load(store)
+        assert len(reopened.completed_ids()) == error.committed_chunks
+        reopened.release()
+        with small_study() as study:
+            assert study.run(store=store).to_json() == baseline_json
+
+    def test_torn_shard_append_is_repaired_on_resume(self, tmp_path,
+                                                     baseline_json):
+        store = tmp_path / "st"
+        install_faults("store.shard.write:kind=torn,after=1,count=1")
+        with small_study() as study:
+            with pytest.raises(StoreWriteError):
+                study.run(store=store, store_chunk_size=2)
+        uninstall_faults()
+        # The shard file carries a torn half-chunk past the committed
+        # prefix; reopening must not surface it as results.
+        with small_study() as study:
+            assert study.run(store=store).to_json() == baseline_json
+
+    def test_torn_log_append_is_repaired_on_resume(self, tmp_path,
+                                                   baseline_json):
+        store = tmp_path / "st"
+        install_faults("store.log.append:kind=torn,after=1,count=1")
+        with small_study() as study:
+            with pytest.raises(StoreWriteError):
+                study.run(store=store, store_chunk_size=2)
+        uninstall_faults()
+        with small_study() as study:
+            assert study.run(store=store).to_json() == baseline_json
+
+    def test_unset_env_means_no_failpoints(self, tmp_path, baseline_json):
+        assert failpoint("store.fsync") is None
+        store = tmp_path / "st"
+        with small_study() as study:
+            assert study.run(store=store).to_json() == baseline_json
