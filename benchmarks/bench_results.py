@@ -1,0 +1,201 @@
+"""Results-at-scale benchmark — columnar ResultSet vs the record path.
+
+Builds a synthetic run store of ``REPRO_BENCH_RECORDS`` records (default
+100k — no simulation, the records are generated directly so the benchmark
+isolates the *results* layer), writes it once in each shard format, and
+measures:
+
+* **load** — ``ResultSet.from_store`` on the npz (columnar) store versus
+  materialising every record from the JSONL store the way the
+  pre-columnar implementation did (JSON line parse + ``RunRecord`` per
+  run),
+* **aggregate** — ``aggregate_stream`` consuming npz column blocks versus
+  streaming ``RunRecord`` objects (``iter_records``), grouped by
+  (benchmark, design),
+* **byte-identity** — ``to_json`` of the sets loaded from both stores
+  must be identical, so the speed never costs a byte of output.
+
+Acts as part of the CI perf-smoke gate: the run *fails* if the combined
+columnar load+aggregate speedup drops below 3x (the acceptance floor is
+5x; a quiet machine measures far above it — the margin absorbs shared-CI
+noise) or if the outputs diverge.  Emits ``BENCH_results.json`` next to
+the repository root; ``repro bench`` records it into the regression
+ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import emit
+from repro.study import ResultSet, RunStore, aggregate_stream
+from repro.study.results import RunRecord
+from repro.study.store import chunk_layout
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+
+BENCHMARKS = ("TLIM-32", "QAOA-r4-32", "QFT-24")
+DESIGNS = ("ideal", "original", "no_buf", "adapt_buf")
+CHUNK_SIZE = 512
+
+_REPEATS = 3
+
+
+def _record_count() -> int:
+    return int(os.environ.get("REPRO_BENCH_RECORDS", 100_000))
+
+
+def _synthesize_store(path: Path, shard_format: str, total: int) -> RunStore:
+    """Populate a store with a deterministic synthetic grid of records."""
+    cells = []
+    for benchmark in BENCHMARKS:
+        for design in DESIGNS:
+            cells.append({"benchmark": benchmark, "design": design})
+    seeds_per_cell = total // len(cells)
+    store = RunStore(path, chunk_size=CHUNK_SIZE, shard_format=shard_format)
+    store.begin(
+        "bench-results-synthetic",
+        {"name": "bench_results", "num_runs": seeds_per_cell},
+        [{**cell, "num_seeds": seeds_per_cell} for cell in cells],
+    )
+    rng = random.Random(7)
+    for chunk in chunk_layout([seeds_per_cell] * len(cells), CHUNK_SIZE):
+        cell = cells[chunk.cell]
+        records = [
+            RunRecord(
+                benchmark=cell["benchmark"],
+                design=cell["design"],
+                seed=chunk.start + i + 1,
+                depth=rng.uniform(50.0, 500.0),
+                fidelity=rng.uniform(0.5, 1.0),
+                num_remote=rng.randrange(0, 64),
+                mean_remote_wait=rng.uniform(0.0, 20.0),
+                mean_link_fidelity=rng.uniform(0.8, 1.0),
+                epr_generated=float(rng.randrange(0, 4096)),
+                epr_wasted=float(rng.randrange(0, 512)),
+                params={"epr_success_probability": rng.choice((0.2, 0.5, 0.8))},
+            )
+            for i in range(chunk.count)
+        ]
+        store.append_chunk(chunk, records)
+    store.release()
+    return RunStore.load(path)
+
+
+def _best(fn):
+    best = float("inf")
+    value = None
+    for _ in range(_REPEATS):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def test_results_benchmark():
+    """Time record-backed vs columnar load/aggregate, emit JSON."""
+    total = _record_count()
+    workdir = Path(tempfile.mkdtemp(prefix="bench-results-"))
+    try:
+        jsonl_store = _synthesize_store(workdir / "jsonl", "jsonl", total)
+        npz_store = _synthesize_store(workdir / "npz", "npz", total)
+        records = total - total % (len(BENCHMARKS) * len(DESIGNS))
+
+        # --- load: record materialisation vs columnar -------------------
+        # The record path is what every load paid before the columnar
+        # backing: parse each JSONL line and build a RunRecord object.
+        record_load_s, record_set = _best(
+            lambda: ResultSet(list(jsonl_store.iter_records()),
+                              metadata=jsonl_store.study))
+        columnar_load_s, columnar_set = _best(
+            lambda: ResultSet.from_store(npz_store))
+        load_speedup = (record_load_s / columnar_load_s
+                        if columnar_load_s > 0 else float("inf"))
+
+        # --- aggregate: record stream vs column blocks ------------------
+        by = ("benchmark", "design")
+        record_agg_s, record_stats = _best(
+            lambda: aggregate_stream(jsonl_store.iter_records(),
+                                     "depth", by=by))
+        columnar_agg_s, columnar_stats = _best(
+            lambda: aggregate_stream(npz_store, "depth", by=by))
+        agg_speedup = (record_agg_s / columnar_agg_s
+                       if columnar_agg_s > 0 else float("inf"))
+
+        combined_record_s = record_load_s + record_agg_s
+        combined_columnar_s = columnar_load_s + columnar_agg_s
+        combined_speedup = (combined_record_s / combined_columnar_s
+                            if combined_columnar_s > 0 else float("inf"))
+
+        # --- byte-identity ----------------------------------------------
+        stats_identical = record_stats == columnar_stats
+        json_identical = record_set.to_json() == columnar_set.to_json()
+
+        shard_bytes = {
+            "jsonl": sum(f.stat().st_size
+                         for f in (workdir / "jsonl" / "shards").iterdir()),
+            "npz": sum(f.stat().st_size
+                       for f in (workdir / "npz" / "shards").iterdir()),
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    payload = {
+        "records": records,
+        "cells": len(BENCHMARKS) * len(DESIGNS),
+        "chunk_size": CHUNK_SIZE,
+        "load": {
+            "record_s": record_load_s,
+            "columnar_s": columnar_load_s,
+            "speedup": load_speedup,
+        },
+        "aggregate": {
+            "record_s": record_agg_s,
+            "columnar_s": columnar_agg_s,
+            "speedup": agg_speedup,
+        },
+        "combined": {
+            "record_s": combined_record_s,
+            "columnar_s": combined_columnar_s,
+            "speedup": combined_speedup,
+        },
+        "identical_statistics": stats_identical,
+        "identical_json": json_identical,
+        "shard_bytes": shard_bytes,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        "Results at scale — columnar ResultSet and npz shards",
+        "\n".join([
+            f"store: {records} records, {len(BENCHMARKS) * len(DESIGNS)} "
+            f"cells, chunk size {CHUNK_SIZE}",
+            f"load   (records):  {record_load_s * 1e3:8.1f} ms",
+            f"load   (columnar): {columnar_load_s * 1e3:8.1f} ms "
+            f"({load_speedup:.1f}x)",
+            f"aggregate (records):  {record_agg_s * 1e3:8.1f} ms",
+            f"aggregate (columnar): {columnar_agg_s * 1e3:8.1f} ms "
+            f"({agg_speedup:.1f}x)",
+            f"combined speedup: {combined_speedup:.1f}x "
+            f"(stats identical={stats_identical}, "
+            f"json identical={json_identical})",
+            f"shard bytes: jsonl={shard_bytes['jsonl']} "
+            f"npz={shard_bytes['npz']}",
+            f"wrote {OUTPUT_PATH.name}",
+        ]),
+    )
+
+    assert stats_identical, "columnar aggregation diverged from records"
+    assert json_identical, "columnar to_json diverged from record path"
+    # Acceptance floor is 5x; gate at 3x so shared-CI load noise cannot
+    # flip the build while a real regression (which lands near 1x) still
+    # fails loudly.
+    assert combined_speedup >= 3.0, (
+        f"columnar load+aggregate speedup fell to {combined_speedup:.1f}x"
+    )

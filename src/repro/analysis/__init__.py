@@ -1,5 +1,12 @@
 """Statistics over repeated runs and text reports of the paper's tables."""
 
+from repro.analysis.ledger import (
+    BenchLedger,
+    Regression,
+    check_metrics,
+    classify_metric,
+    flatten_metrics,
+)
 from repro.analysis.report import (
     comparison_report,
     format_table,
@@ -17,6 +24,11 @@ __all__ = [
     "SampleStatistics",
     "summarize",
     "relative_change",
+    "BenchLedger",
+    "Regression",
+    "check_metrics",
+    "classify_metric",
+    "flatten_metrics",
     "format_table",
     "table1_report",
     "table2_report",

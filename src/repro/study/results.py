@@ -1,4 +1,4 @@
-"""Flat, serialisable study results.
+"""Flat, serialisable study results, backed by columnar numpy arrays.
 
 Every simulated run of a study becomes one :class:`RunRecord` — a flat
 (benchmark, design, seed, swept-parameters, metrics) row — and a whole study
@@ -9,6 +9,17 @@ returns of the legacy helpers: any grouping can be recovered with
 with :meth:`ResultSet.to_comparisons`, and the whole set round-trips through
 JSON (:meth:`to_json` / :meth:`from_json`) so grids can be re-analysed
 without re-simulation.
+
+Internally a :class:`ResultSet` holds one numpy array per column — float64 /
+int64 for uniformly-typed metric columns, object arrays for string axes and
+mixed columns — plus an object array of per-record parameter mappings.
+:class:`RunRecord` views are materialised lazily (and cached), so both the
+record-level API and the columnar fast paths (``values`` / ``filter`` /
+``group_by`` / ``aggregate`` / ``to_json`` / ``to_csv``) observe exactly the
+same data.  Columnar aggregation feeds the *same* ``summarize`` reduction
+(``math.fsum``) with the same values in the same order as the record path,
+so every statistic — and every serialised byte — is identical to the
+pre-columnar implementation.
 
 Aggregation formulas mirror
 :meth:`~repro.core.results.DesignSummary.from_results` exactly (``summarize``
@@ -25,13 +36,15 @@ import json
 from dataclasses import dataclass, field, fields as dataclass_fields
 from pathlib import Path
 from typing import (
-    Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple,
-    Union,
+    Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional,
+    Sequence, Tuple, Union,
 )
+
+import numpy as np
 
 from repro.analysis.statistics import SampleStatistics, summarize
 from repro.core.results import BenchmarkComparison, DesignSummary
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, StoreError
 from repro.runtime.metrics import ExecutionResult
 
 __all__ = ["RunRecord", "ResultSet", "aggregate_stream"]
@@ -44,6 +57,9 @@ METRIC_FIELDS: Tuple[str, ...] = (
 
 #: Identity columns of a record, in stable serialisation order.
 KEY_FIELDS: Tuple[str, ...] = ("benchmark", "design", "seed")
+
+#: Every fixed (non-parameter) column, in serialisation order.
+FIXED_FIELDS: Tuple[str, ...] = (*KEY_FIELDS, *METRIC_FIELDS)
 
 
 @dataclass(frozen=True)
@@ -94,10 +110,7 @@ class RunRecord:
             return getattr(self, key)
         if key in self.params:
             return self.params[key]
-        raise KeyError(
-            f"record has no column {key!r}; known: "
-            f"{', '.join((*KEY_FIELDS, *sorted(self.params), *METRIC_FIELDS))}"
-        )
+        raise KeyError(_unknown_column_message(key, self.params))
 
     def to_dict(self) -> Dict[str, Any]:
         """Nested JSON-friendly form (params kept as a sub-mapping)."""
@@ -118,6 +131,51 @@ class RunRecord:
         return cls(**{key: row[key] for key in known if key in row})
 
 
+def _unknown_column_message(key: str, params: Mapping[str, Any]) -> str:
+    return (
+        f"record has no column {key!r}; known: "
+        f"{', '.join((*KEY_FIELDS, *sorted(params), *METRIC_FIELDS))}"
+    )
+
+
+def _pack_column(values: Sequence[Any]) -> np.ndarray:
+    """Pick the tightest dtype that represents a column *exactly*.
+
+    Uniform float columns become float64 and uniform int columns int64
+    (both of which ``tolist`` back to the identical python values, so
+    serialisation stays byte-exact); anything else — strings, bools,
+    mixed int/float, None, out-of-range ints — stays an object array
+    holding the original python objects untouched.
+    """
+    has_float = False
+    has_int = False
+    uniform = True
+    for value in values:
+        kind = type(value)
+        if kind is float:
+            has_float = True
+        elif kind is int:
+            has_int = True
+        else:
+            uniform = False
+            break
+    if uniform and values:
+        if has_float and not has_int:
+            return np.asarray(values, dtype=np.float64)
+        if has_int and not has_float:
+            try:
+                return np.asarray(values, dtype=np.int64)
+            except OverflowError:
+                pass
+    return _object_column(values)
+
+
+def _object_column(values: Sequence[Any]) -> np.ndarray:
+    column = np.empty(len(values), dtype=object)
+    column[:] = list(values)
+    return column
+
+
 GroupKey = Union[Any, Tuple[Any, ...]]
 
 
@@ -127,20 +185,104 @@ class ResultSet:
     Records keep the execution order of the study grid (axes slowest-first,
     seeds innermost), which downstream aggregation relies on for
     deterministic floating-point sums.
+
+    Storage is columnar: one numpy array per fixed column plus an object
+    array of per-record parameter dicts.  The ``records`` list is a lazy
+    view — sets loaded from binary stores or produced by ``filter`` /
+    ``group_by`` never materialise python record objects until something
+    actually touches ``records``.
     """
 
     SCHEMA_VERSION = 1
 
     def __init__(self, records: Sequence[RunRecord],
                  metadata: Optional[Mapping[str, Any]] = None) -> None:
-        self.records: List[RunRecord] = list(records)
+        records = list(records)
         self.metadata: Dict[str, Any] = dict(metadata or {})
+        self._records: Optional[List[RunRecord]] = records
+        self._n = len(records)
+        self._columns: Dict[str, np.ndarray] = {
+            name: _pack_column([getattr(r, name) for r in records])
+            for name in FIXED_FIELDS
+        }
+        self._params: np.ndarray = _object_column([r.params for r in records])
+
+    @classmethod
+    def _from_columns(cls, columns: Mapping[str, Sequence[Any]],
+                      params: Sequence[Mapping[str, Any]],
+                      metadata: Optional[Mapping[str, Any]] = None
+                      ) -> "ResultSet":
+        """Build a set straight from column value sequences (no records).
+
+        ``columns`` must hold every fixed field; ``params`` is one mapping
+        per record.  Used by the binary store loaders, which read columns
+        off disk and never pay for record materialisation.
+        """
+        rs = cls.__new__(cls)
+        rs.metadata = dict(metadata or {})
+        rs._records = None
+        rs._params = _object_column([dict(p) for p in params])
+        rs._n = len(rs._params)
+        rs._columns = {}
+        for name in FIXED_FIELDS:
+            if name not in columns:
+                raise ConfigurationError(
+                    f"columnar result set is missing column {name!r}"
+                )
+            column = columns[name]
+            packed = (column if isinstance(column, np.ndarray)
+                      else _pack_column(list(column)))
+            if len(packed) != rs._n:
+                raise ConfigurationError(
+                    f"column {name!r} holds {len(packed)} values for "
+                    f"{rs._n} records"
+                )
+            rs._columns[name] = packed
+        return rs
+
+    def _slice(self, indices: Sequence[int]) -> "ResultSet":
+        idx = np.asarray(indices, dtype=np.intp)
+        rs = ResultSet.__new__(ResultSet)
+        rs.metadata = dict(self.metadata)
+        rs._n = len(idx)
+        rs._columns = {name: column[idx]
+                       for name, column in self._columns.items()}
+        rs._params = self._params[idx]
+        if self._records is not None:
+            rs._records = [self._records[i] for i in idx.tolist()]
+        else:
+            rs._records = None
+        return rs
+
+    # ------------------------------------------------------------------
+    # lazy record views
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> List[RunRecord]:
+        """The records as python objects (materialised lazily, cached)."""
+        if self._records is None:
+            lists = {name: self._columns[name].tolist()
+                     for name in FIXED_FIELDS}
+            params = self._params
+            self._records = [
+                RunRecord(**{name: lists[name][i] for name in FIXED_FIELDS},
+                          params=params[i])
+                for i in range(self._n)
+            ]
+        return self._records
+
+    def column(self, name: str) -> np.ndarray:
+        """The backing numpy array of one fixed column (read it, don't
+        mutate it — the set shares these arrays with its slices)."""
+        if name not in self._columns:
+            raise KeyError(_unknown_column_message(name, {}))
+        return self._columns[name]
 
     # ------------------------------------------------------------------
     # container protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.records)
+        return self._n
 
     def __iter__(self) -> Iterator[RunRecord]:
         return iter(self.records)
@@ -155,7 +297,7 @@ class ResultSet:
                 and self.metadata == other.metadata)
 
     def __repr__(self) -> str:
-        return (f"ResultSet({len(self.records)} records, "
+        return (f"ResultSet({self._n} records, "
                 f"benchmarks={self.benchmarks()}, designs={self.designs()})")
 
     # ------------------------------------------------------------------
@@ -163,22 +305,40 @@ class ResultSet:
     # ------------------------------------------------------------------
     def benchmarks(self) -> List[str]:
         """Distinct benchmark names, in first-seen order."""
-        return list(dict.fromkeys(r.benchmark for r in self.records))
+        return list(dict.fromkeys(self._columns["benchmark"].tolist()))
 
     def designs(self) -> List[str]:
         """Distinct design names, in first-seen order."""
-        return list(dict.fromkeys(r.design for r in self.records))
+        return list(dict.fromkeys(self._columns["design"].tolist()))
 
     def param_keys(self) -> List[str]:
         """Sorted union of swept-parameter names across all records."""
-        keys = set()
-        for record in self.records:
-            keys.update(record.params)
+        keys: set = set()
+        for params in self._params.tolist():
+            keys.update(params)
         return sorted(keys)
 
     def values(self, key: str) -> List[Any]:
         """Column values of every record, in record order."""
-        return [record.get(key) for record in self.records]
+        if key in self._columns:
+            return self._columns[key].tolist()
+        return self._param_values(key)
+
+    def _param_values(self, key: str,
+                      indices: Optional[Iterable[int]] = None) -> List[Any]:
+        params = self._params
+        out = []
+        for i in (range(self._n) if indices is None else indices):
+            row = params[i]
+            if key not in row:
+                raise KeyError(_unknown_column_message(key, row))
+            out.append(row[key])
+        return out
+
+    def _column_list(self, key: str) -> List[Any]:
+        if key in self._columns:
+            return self._columns[key].tolist()
+        return self._param_values(key)
 
     # ------------------------------------------------------------------
     # relational helpers
@@ -189,44 +349,83 @@ class ResultSet:
 
         >>> rs.filter(design="adapt_buf", comm_qubits_per_node=15)  # doctest: +SKIP
         """
-        def matches(record: RunRecord) -> bool:
-            if predicate is not None and not predicate(record):
-                return False
-            return all(record.get(key) == value
-                       for key, value in equalities.items())
+        if predicate is not None:
+            # A callable predicate needs record objects; evaluate exactly
+            # like the pre-columnar implementation did.
+            def matches(record: RunRecord) -> bool:
+                if not predicate(record):
+                    return False
+                return all(record.get(key) == value
+                           for key, value in equalities.items())
 
-        return ResultSet([r for r in self.records if matches(r)],
-                         metadata=self.metadata)
+            return ResultSet([r for r in self.records if matches(r)],
+                             metadata=self.metadata)
+        mask = np.ones(self._n, dtype=bool)
+        for key, value in equalities.items():
+            if key in self._columns:
+                eq = self._columns[key] == value
+                if not isinstance(eq, np.ndarray):
+                    eq = np.full(self._n, bool(eq))
+                mask &= eq.astype(bool, copy=False)
+            else:
+                keep = np.zeros(self._n, dtype=bool)
+                params = self._params
+                for i in np.nonzero(mask)[0].tolist():
+                    row = params[i]
+                    if key not in row:
+                        raise KeyError(_unknown_column_message(key, row))
+                    keep[i] = row[key] == value
+                mask = keep
+        return self._slice(np.nonzero(mask)[0])
+
+    def _group_indices(self, keys: Sequence[str]) -> Dict[GroupKey, List[int]]:
+        if not keys:
+            raise ConfigurationError("group_by needs at least one column")
+        columns = [self._column_list(key) for key in keys]
+        groups: Dict[GroupKey, List[int]] = {}
+        if len(keys) == 1:
+            only = columns[0]
+            for i in range(self._n):
+                groups.setdefault(only[i], []).append(i)
+        else:
+            for i in range(self._n):
+                groups.setdefault(tuple(col[i] for col in columns),
+                                  []).append(i)
+        return groups
 
     def group_by(self, *keys: str) -> Dict[GroupKey, "ResultSet"]:
         """Partition records by one or more columns, preserving order.
 
         A single key yields scalar group keys; several yield tuples.
         """
-        if not keys:
-            raise ConfigurationError("group_by needs at least one column")
-        groups: Dict[GroupKey, List[RunRecord]] = {}
-        for record in self.records:
-            values = tuple(record.get(key) for key in keys)
-            group = values[0] if len(keys) == 1 else values
-            groups.setdefault(group, []).append(record)
-        return {group: ResultSet(records, metadata=self.metadata)
-                for group, records in groups.items()}
+        return {group: self._slice(indices)
+                for group, indices in self._group_indices(keys).items()}
 
     def aggregate(self, metric: str, by: Union[str, Sequence[str]] = ()
                   ) -> Dict[GroupKey, SampleStatistics]:
         """Summary statistics of one metric per group.
 
         ``by`` is one column name or a sequence of them; with no ``by``
-        columns the whole set is one group keyed ``()``.
+        columns the whole set is one group keyed ``()``.  Group keys,
+        value order, and therefore every statistic are identical to the
+        record-by-record evaluation — the metric values are sliced out of
+        the backing column and fed to the same ``summarize`` reduction.
         """
         if isinstance(by, str):
             by = [by]
         if not by:
             return {(): summarize(self.values(metric))}
+        groups = self._group_indices(list(by))
+        column = self._columns.get(metric)
+        if column is not None:
+            return {
+                group: summarize(
+                    column[np.asarray(indices, dtype=np.intp)].tolist())
+                for group, indices in groups.items()
+            }
         return {
-            group: summarize(subset.values(metric))
-            for group, subset in self.group_by(*by).items()
+            group: summarize(self._param_values(metric, indices))
+            for group, indices in groups.items()
         }
 
     # ------------------------------------------------------------------
@@ -282,7 +481,7 @@ class ResultSet:
         shape); ``by="<param>"`` groups by a swept parameter with one
         benchmark per group (the ``run_comm_qubit_sweep`` shape).
         """
-        if not self.records:
+        if not self._n:
             return {}
         key = by if by is not None else "benchmark"
         return {
@@ -293,18 +492,36 @@ class ResultSet:
     # ------------------------------------------------------------------
     # serialisation
     # ------------------------------------------------------------------
+    def _row_dicts(self) -> List[Dict[str, Any]]:
+        """One :meth:`RunRecord.to_dict`-shaped dict per record, built
+        straight from the columns (no record materialisation)."""
+        lists = {name: self._columns[name].tolist() for name in FIXED_FIELDS}
+        params = self._params
+        rows = []
+        for i in range(self._n):
+            row = {name: lists[name][i] for name in KEY_FIELDS}
+            row["params"] = dict(params[i])
+            for name in METRIC_FIELDS:
+                row[name] = lists[name][i]
+            rows.append(row)
+        return rows
+
     def to_records(self) -> List[Dict[str, Any]]:
         """Fully flat rows: params merged into the columns.
 
         Column order is stable: identity, sorted params, metrics.
         """
-        params = self.param_keys()
+        param_keys = self.param_keys()
+        lists = {name: self._columns[name].tolist() for name in FIXED_FIELDS}
+        params = self._params
         rows = []
-        for record in self.records:
-            row = {name: getattr(record, name) for name in KEY_FIELDS}
-            for key in params:
-                row[key] = record.params.get(key)
-            row.update({name: getattr(record, name) for name in METRIC_FIELDS})
+        for i in range(self._n):
+            row = {name: lists[name][i] for name in KEY_FIELDS}
+            row_params = params[i]
+            for key in param_keys:
+                row[key] = row_params.get(key)
+            for name in METRIC_FIELDS:
+                row[name] = lists[name][i]
             rows.append(row)
         return rows
 
@@ -314,7 +531,7 @@ class ResultSet:
         payload = {
             "schema": self.SCHEMA_VERSION,
             "metadata": self.metadata,
-            "records": [record.to_dict() for record in self.records],
+            "records": self._row_dicts(),
         }
         text = json.dumps(payload, indent=indent) + "\n"
         if path is not None:
@@ -349,10 +566,11 @@ class ResultSet:
         ``source`` is a store directory (or an open store).  Records are
         streamed shard by shard in plan order, so the result — including
         its ``to_json`` text — is byte-identical to what ``Study.run``
-        returned for the same plan.  An incomplete store raises
+        returned for the same plan, whatever shard format the store uses.
+        An incomplete store raises
         :class:`~repro.exceptions.StoreError` unless ``allow_partial``;
-        for aggregation that never materialises the records at all, feed
-        ``RunStore.iter_records()`` to :func:`aggregate_stream` instead.
+        for aggregation that never materialises the set at all, pass the
+        store straight to :func:`aggregate_stream` instead.
         """
         from repro.study.store import RunStore
 
@@ -378,29 +596,66 @@ class ResultSet:
         return text
 
 
-def aggregate_stream(records: Iterator[RunRecord], metric: str,
+def _aggregate_record_stream(records: Iterator[RunRecord], metric: str,
+                             by: List[str]
+                             ) -> Dict[GroupKey, List[Any]]:
+    groups: Dict[GroupKey, List[Any]] = {}
+    for record in records:
+        try:
+            if not by:
+                group: GroupKey = ()
+            else:
+                values = tuple(record.get(key) for key in by)
+                group = values[0] if len(by) == 1 else values
+            groups.setdefault(group, []).append(record.get(metric))
+        except KeyError as error:
+            raise StoreError(error.args[0]) from None
+    return groups
+
+
+def aggregate_stream(source: Any, metric: str,
                      by: Union[str, Sequence[str]] = ()
                      ) -> Dict[GroupKey, SampleStatistics]:
     """Incremental :meth:`ResultSet.aggregate` over a record *stream*.
 
-    Consumes any iterable of records — typically
-    ``RunStore.iter_records()``, which reads one shard chunk at a time —
-    while holding only the grouped metric values (floats), never the
-    records themselves, so a million-run store aggregates in bounded
-    memory.  Group keys, value order, and therefore the statistics are
-    identical to materialising the set and calling ``aggregate``.
+    ``source`` is an open :class:`~repro.study.store.RunStore`, a store
+    directory path, or any iterable of records.  Given a store, only the
+    requested columns are decoded — one shard chunk at a time, straight
+    from the column blocks for binary shards — and only the grouped metric
+    values (floats) are held, never the records themselves, so a
+    million-run store aggregates in bounded memory.  Group keys, value
+    order, and therefore the statistics are identical to materialising the
+    set and calling ``aggregate``.
+
+    A metric or group column absent from the store raises
+    :class:`~repro.exceptions.StoreError` naming the available columns.
     """
+    from repro.study.store import RunStore
+
     if isinstance(by, str):
         by = [by]
     by = list(by)
-    groups: Dict[GroupKey, List[float]] = {}
-    for record in records:
-        if not by:
-            group: GroupKey = ()
-        else:
-            values = tuple(record.get(key) for key in by)
-            group = values[0] if len(by) == 1 else values
-        groups.setdefault(group, []).append(record.get(metric))
+    if isinstance(source, (str, Path)):
+        source = RunStore.load(source)
+    if isinstance(source, RunStore):
+        groups: Dict[GroupKey, List[Any]] = {}
+        for block in source.iter_column_blocks([metric, *by]):
+            metric_values = block[metric]
+            if not by:
+                groups.setdefault((), []).extend(metric_values)
+                continue
+            group_columns = [block[key] for key in by]
+            if len(by) == 1:
+                only = group_columns[0]
+                for i, value in enumerate(metric_values):
+                    groups.setdefault(only[i], []).append(value)
+            else:
+                for i, value in enumerate(metric_values):
+                    groups.setdefault(
+                        tuple(col[i] for col in group_columns),
+                        []).append(value)
+    else:
+        groups = _aggregate_record_stream(iter(source), metric, by)
     if not groups and not by:
         # Match ResultSet.aggregate on an empty set, which lets summarize
         # raise its explicit empty-sample error instead of returning {}.

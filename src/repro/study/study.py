@@ -499,7 +499,8 @@ class Study:
             store: Union[None, str, Path, RunStore] = None,
             progress: Optional[ProgressCallback] = None,
             max_chunks: Optional[int] = None,
-            store_chunk_size: Optional[int] = None) -> ResultSet:
+            store_chunk_size: Optional[int] = None,
+            store_format: Optional[str] = None) -> ResultSet:
         """Execute the study and return its flat result set.
 
         The whole seed × cell grid is submitted to the backend as one flat
@@ -529,6 +530,11 @@ class Study:
             Seeds per chunk for a fresh store (default
             :data:`~repro.study.store.DEFAULT_CHUNK_SIZE`); an existing
             store keeps its committed layout.
+        store_format:
+            Shard encoding for a fresh store — ``"jsonl"`` (default) or
+            ``"npz"`` (columnar binary); an existing store keeps its
+            committed format.  The returned set — and its ``to_json``
+            text — is byte-identical either way.
         """
         plan = plan if plan is not None else self.plan()
         if store_chunk_size is not None and store_chunk_size < 1:
@@ -537,7 +543,8 @@ class Study:
             return self._run_direct(plan)
         return self._run_streamed(plan, store=store, progress=progress,
                                   max_chunks=max_chunks,
-                                  store_chunk_size=store_chunk_size)
+                                  store_chunk_size=store_chunk_size,
+                                  store_format=store_format)
 
     def _run_direct(self, plan: ExecutionPlan) -> ResultSet:
         """The all-in-memory path: one flat batch, records on return."""
@@ -564,7 +571,8 @@ class Study:
                       store: Union[None, str, Path, RunStore],
                       progress: Optional[ProgressCallback],
                       max_chunks: Optional[int],
-                      store_chunk_size: Optional[int]) -> ResultSet:
+                      store_chunk_size: Optional[int],
+                      store_format: Optional[str] = None) -> ResultSet:
         """The chunked path: durable store and/or progress observation.
 
         The plan is split into deterministic store chunks (cells in plan
@@ -577,7 +585,8 @@ class Study:
         if max_chunks is not None and max_chunks < 0:
             raise ConfigurationError("max_chunks cannot be negative")
         if store is not None and not isinstance(store, RunStore):
-            store = RunStore(store, chunk_size=store_chunk_size)
+            store = RunStore(store, chunk_size=store_chunk_size,
+                             shard_format=store_format)
         compiled = self.compile_plan(plan)
         cells = plan.cells
         if store is not None:

@@ -1,5 +1,6 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
+import json
 import math
 
 from hypothesis import given, settings, strategies as st
@@ -208,3 +209,104 @@ def test_summarize_bounds(samples):
     stats = summarize(samples)
     assert stats.minimum <= stats.mean <= stats.maximum
     assert stats.std >= 0
+
+
+# ---------------------------------------------------------------------------
+# columnar results / npz shard round-trips
+# ---------------------------------------------------------------------------
+
+# Any JSON-encodable text (no surrogates — they cannot reach UTF-8
+# shards); NULs and other control characters are deliberately *allowed*
+# to exercise the npz string-column fallback.
+_axis_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=12)
+
+_metric_floats = st.one_of(
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.integers(min_value=-10**6, max_value=10**6).map(float),
+)
+
+_param_values = st.one_of(
+    _axis_text,
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e6, max_value=1e6),
+    st.booleans(),
+    st.none(),
+)
+
+
+@st.composite
+def run_records(draw):
+    from repro.study.results import RunRecord
+
+    return RunRecord(
+        benchmark=draw(_axis_text),
+        design=draw(_axis_text),
+        seed=draw(st.integers(min_value=-2**40, max_value=2**40)),
+        depth=draw(_metric_floats),
+        fidelity=draw(_metric_floats),
+        num_remote=draw(st.integers(min_value=0, max_value=2**31)),
+        mean_remote_wait=draw(_metric_floats),
+        mean_link_fidelity=draw(st.one_of(_metric_floats, st.none())),
+        epr_generated=draw(st.one_of(_metric_floats,
+                                     st.integers(0, 10**6))),
+        epr_wasted=draw(_metric_floats),
+        params=draw(st.dictionaries(
+            st.text(alphabet=st.characters(blacklist_categories=("Cs",)),
+                    min_size=1, max_size=8),
+            _param_values, max_size=3)),
+    )
+
+
+#: Batches cover the empty set, single-run cells, and mixed-type columns.
+_record_batches = st.lists(run_records(), min_size=0, max_size=12)
+
+
+def _canonical_json(records):
+    """Reference serialisation: per-record dicts, NaN-safe comparison."""
+    return json.dumps([r.to_dict() for r in records])
+
+
+@settings(max_examples=60, deadline=None)
+@given(_record_batches)
+def test_npz_chunk_round_trip_is_lossless(records):
+    from repro.study.store import decode_chunk, encode_chunk
+
+    rebuilt = decode_chunk(encode_chunk(records, "npz"), "npz")
+    assert _canonical_json(rebuilt) == _canonical_json(records)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_record_batches)
+def test_jsonl_and_npz_chunks_decode_identically(records):
+    from repro.study.store import decode_chunk, encode_chunk
+
+    via_jsonl = decode_chunk(encode_chunk(records, "jsonl"), "jsonl")
+    via_npz = decode_chunk(encode_chunk(records, "npz"), "npz")
+    assert _canonical_json(via_jsonl) == _canonical_json(via_npz)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_record_batches)
+def test_result_set_json_round_trip_is_lossless(records):
+    from repro.study import ResultSet
+
+    original = ResultSet(records, metadata={"name": "prop"})
+    text = original.to_json()
+    assert ResultSet.from_json(text).to_json() == text
+
+
+@settings(max_examples=40, deadline=None)
+@given(_record_batches)
+def test_columnar_construction_matches_record_construction(records):
+    from repro.study import ResultSet
+    from repro.study.results import KEY_FIELDS, METRIC_FIELDS
+
+    direct = ResultSet(records)
+    columnar = ResultSet._from_columns(
+        {name: [getattr(r, name) for r in records]
+         for name in KEY_FIELDS + METRIC_FIELDS},
+        [r.params for r in records])
+    assert columnar.to_json() == direct.to_json()
+    assert _canonical_json(columnar.records) == _canonical_json(records)

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Bench regression ledger — the CI entry point for ``repro bench``.
+
+Appends each perf-smoke run's ``BENCH_*.json`` metrics to an append-only
+history ledger and gates the current run against a rolling-median baseline
+with a noise allowance (see ``src/repro/analysis/ledger.py`` and
+``docs/results.md``)::
+
+    python tools/bench_ledger.py check  --ledger .ci/bench-ledger.jsonl BENCH_runtime.json
+    python tools/bench_ledger.py record --ledger .ci/bench-ledger.jsonl BENCH_runtime.json
+
+``check`` exits non-zero naming the regressed metric and its baseline;
+``record`` durably appends the run.  Equivalent to ``python -m repro
+bench`` with the same arguments; this wrapper only adds the ``src/`` path
+bootstrap so CI can invoke it from a bare checkout.
+"""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def main(argv=None):
+    from repro.study.cli import main as repro_main
+
+    return repro_main(["bench", *(argv if argv is not None
+                                  else sys.argv[1:])])
+
+
+if __name__ == "__main__":
+    sys.exit(main())
